@@ -1,0 +1,95 @@
+"""Ablation benchmarks beyond the paper's figures.
+
+These probe the design choices DESIGN.md calls out:
+
+* per-mutation-rule checker detection rate (how often each of the five
+  paper rules yields a file the checker rejects);
+* alignment rule subsets (how much NL each rule family contributes);
+* completion-level mix (the 1 + j + i split of Sec. 3.1.1).
+"""
+
+from repro.checker import check_source
+from repro.core import (MUTATION_RULES, Mutator, completion_records,
+                        segment_count)
+from repro.corpus import generate_corpus
+from repro.nl import RULE_ORDER, Ruleset
+from repro.verilog import parse_module
+
+
+def _detection_rates(corpus, samples=6):
+    rates = {}
+    for rule in MUTATION_RULES:
+        rejected = total = 0
+        for index, text in enumerate(corpus):
+            for seed in range(samples):
+                result = Mutator(seed=index * 100 + seed) \
+                    .mutate(text, count=1, rule=rule)
+                if not result.changed:
+                    continue
+                total += 1
+                if not check_source(result.mutated).ok:
+                    rejected += 1
+        rates[rule] = rejected / total if total else 0.0
+    return rates
+
+
+def test_ablation_mutation_rule_detection(once, benchmark):
+    corpus = generate_corpus(10, seed=5)
+    rates = once(_detection_rates, corpus)
+    print("\nchecker detection rate per mutation rule:")
+    for rule, rate in rates.items():
+        print(f"  {rule:<16} {rate:6.1%}")
+    benchmark.extra_info["rates"] = rates
+    # Structural rules are reliably caught; width errors are the
+    # stealthiest (they often stay syntactically legal).
+    assert rates["word_missing"] > 0.6
+    assert rates["additional_word"] > 0.6
+    assert min(rates.values()) == rates["width_error"] or \
+        rates["width_error"] < 0.7
+
+
+def _rule_contributions(corpus):
+    contributions = {}
+    modules = [parse_module(text) for text in corpus]
+    for rule in RULE_ORDER:
+        ruleset = Ruleset(enabled={rule})
+        sentences = sum(len(ruleset.apply(module)) for module in modules)
+        contributions[rule] = sentences
+    return contributions
+
+
+def test_ablation_alignment_rule_contributions(once, benchmark):
+    corpus = generate_corpus(15, seed=7)
+    contributions = once(_rule_contributions, corpus)
+    print("\nsentences contributed per alignment rule:")
+    for rule, count in contributions.items():
+        print(f"  {rule:<20} {count}")
+    benchmark.extra_info["contributions"] = contributions
+    assert contributions["module_ports"] == 15      # one per module
+    assert contributions["behavior"] > 0
+    total = sum(contributions.values())
+    assert total > 45                                # rich descriptions
+
+
+def _completion_mix(corpus):
+    counts = {"module": 0, "statement": 0, "token": 0, "formula": 0}
+    for text in corpus:
+        records = list(completion_records(text))
+        for record in records:
+            level = dict(record.meta)["level"]
+            counts[level] += 1
+        counts["formula"] += segment_count(text)
+    return counts
+
+
+def test_ablation_completion_levels(once, benchmark):
+    corpus = generate_corpus(8, seed=9)
+    counts = once(_completion_mix, corpus)
+    print("\ncompletion record mix:", counts)
+    generated = counts["module"] + counts["statement"] + counts["token"]
+    # 1 + j + i formula: tokens dominate, one module record per file.
+    assert counts["module"] == 8
+    assert counts["token"] > counts["statement"] > counts["module"]
+    # Formula counts the same segments the generator emits (token level
+    # includes the final EOF-adjacent segment the generator skips).
+    assert abs(counts["formula"] - generated - 8) <= 2 * 8

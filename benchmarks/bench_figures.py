@@ -1,0 +1,40 @@
+"""Benchmarks: regenerate Figures 2, 3, 5/6 and 7."""
+
+from repro.experiments import run_fig2, run_fig3, run_fig5, run_fig7
+
+
+def test_fig2_language_scarcity(once, benchmark):
+    result = once(run_fig2)
+    print("\n" + result.rendered)
+    assert result.claim_holds
+    assert result.github_ratio > 10          # orders of magnitude
+    assert result.stackoverflow_ratio > 100
+
+
+def test_fig3_scaling_law(once, benchmark):
+    result = once(run_fig3, corpus_size=30)
+    print("\n" + result.rendered)
+    benchmark.extra_info["points"] = result.points
+    assert result.monotone_trend
+    # Largest training set at least 10x the smallest.
+    assert result.points[-1][0] > 8 * result.points[0][0]
+
+
+def test_fig5_program_analysis_case_study(once, benchmark):
+    result = once(run_fig5)
+    print("\n" + result.rendered)
+    assert "module <counter> has <four> ports" in result.nl_annotated
+    assert "<add> <2'd1> to the count" in result.nl_annotated
+    # The Fig. 6 feedback line matches the paper's format.
+    assert result.fig6_feedback.startswith("./111_3-bit LFSR.v:")
+    assert "unexpected ']'" in result.fig6_feedback
+
+
+def test_fig7_dataset_mix_ablation(once, benchmark):
+    result = once(run_fig7, corpus_size=24)
+    print("\n" + result.rendered)
+    benchmark.extra_info["losses"] = result.losses
+    assert result.alignment_beats_completion
+    # Table-5 tie-in: 25.7% -> 45.7% all-success.
+    general, ours = result.pass_gap
+    assert ours - general > 0.15

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (dataset scale through augmentation)."""
+
+from repro.core import Task
+from repro.experiments import run_table2
+
+
+def test_table2_dataset_scale(once, benchmark):
+    result = once(run_table2, corpus_size=24)
+    print("\n" + result.rendered)
+    benchmark.extra_info["records_total"] = result.raw_count
+    # Shape checks mirroring the paper's Table 2 ordering:
+    assert result.count(Task.EDA_SCRIPT) == 200          # exactly 200
+    assert result.count(Task.WORD_COMPLETION) > \
+        result.count(Task.STATEMENT_COMPLETION)
+    assert result.count(Task.STATEMENT_COMPLETION) > \
+        result.count(Task.MODULE_COMPLETION)
+    assert result.count(Task.NL_VERILOG) > 0
+    assert result.count(Task.DEBUG) > 0

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 4 (SiliconCompiler script generation)."""
+
+from repro.experiments import run_table4
+
+
+def test_table4_script_generation(once, benchmark):
+    result = once(run_table4)
+    print("\n" + result.rendered)
+    report = result.report
+    ours13 = report.results["ours-13b"]
+    ours7 = report.results["ours-7b"]
+    gpt = report.results["gpt-3.5"]
+    # Ours: one-shot on four tasks, two iterations on Mixed (paper rows).
+    for task in ("Basic", "Layout", "Clock Period", "Core Area"):
+        assert ours13[task].function_iteration == 1
+        assert ours7[task].function_iteration == 1
+    assert ours13["Mixed"].function_iteration == 2
+    # GPT-3.5 needs 8-10 iterations on Basic/Layout, fails the rest.
+    assert gpt["Basic"].syntax_iteration == 8
+    assert gpt["Basic"].function_iteration == 9
+    assert gpt["Core Area"].function_iteration is None
+    # Verilog-tuned baselines never produce a valid script.
+    for name in ("thakur", "llama2-13b"):
+        for task_result in report.results[name].values():
+            assert task_result.function_iteration is None

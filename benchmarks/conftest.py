@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment once per round (the sweeps are the
+workload, not micro-ops) and attaches the reproduced table plus paper
+targets to ``benchmark.extra_info`` so `--benchmark-verbose` shows the
+side-by-side.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once and return its result."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,20 @@
+"""Regenerate every table and figure of the paper in one go.
+
+    python examples/regenerate_paper_tables.py           # quick sweeps
+    python examples/regenerate_paper_tables.py --full    # full sweeps
+"""
+
+import sys
+
+from repro.experiments import run_all
+
+
+def main() -> None:
+    quick = "--full" not in sys.argv
+    for name, text in run_all(quick=quick).items():
+        print(f"\n{'=' * 72}\n{name.upper()}\n{'=' * 72}")
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

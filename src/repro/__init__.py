@@ -1,0 +1,33 @@
+"""ChipGPT-FT reproduction: automated design-data augmentation for
+chip-design LLMs ("Data is all you need", DAC 2024).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: completion / NL-alignment / mutation /
+    repair / EDA-script augmentation stages and the full pipeline.
+``repro.verilog`` / ``repro.checker`` / ``repro.sim``
+    Verilog front-end, yosys-style checker, event-driven simulator.
+``repro.nl``
+    AST → natural-language program-analysis rules (Fig. 5).
+``repro.eda``
+    Mini SiliconCompiler, gate-level synthesis, RTL-to-GDS flow.
+``repro.llm``
+    Real trainable LMs (n-gram, numpy transformer + LoRA) and the
+    calibrated behavioural model zoo.
+``repro.bench`` / ``repro.eval`` / ``repro.experiments``
+    Benchmark suites, evaluation harness and per-table/figure drivers.
+"""
+
+from .core import (AugmentationPipeline, Dataset, PipelineConfig, Record,
+                   Task)
+from .nl import describe_module, describe_source
+from .verilog import parse, parse_module, unparse
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AugmentationPipeline", "PipelineConfig", "Dataset", "Record", "Task",
+    "describe_module", "describe_source", "parse", "parse_module",
+    "unparse", "__version__",
+]

@@ -1,0 +1,149 @@
+"""The chip-design agent loop of the paper's Fig. 1.
+
+A finetuned model acting as an EDA-tool agent: generate Verilog from a
+natural-language prompt, submit it to the tool chain, and react to
+feedback — repair on checker errors, re-sample on functional failures —
+until the design passes its testbench; optionally push the survivor
+through the RTL-to-GDS flow for a PPA report.
+
+This module stitches together every substrate in the repo the way the
+paper's system diagram does:
+
+    model → checker (yosys) → repair ↺ → simulator (VCS) → flow (OpenLane)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bench.problems import Problem
+from .checker import check_source
+from .eda import Flow, FlowConstraints, FlowResult, SynthesisError
+from .llm import BehavioralModel, get_model
+from .sim import run_testbench
+
+
+@dataclass
+class AgentStep:
+    """One tool interaction in the loop."""
+
+    stage: str                 # generate | check | repair | simulate | flow
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class AgentResult:
+    """Outcome of one agent session."""
+
+    design: str | None
+    passed: bool
+    rounds: int
+    steps: list[AgentStep] = field(default_factory=list)
+    flow_result: FlowResult | None = None
+
+    @property
+    def transcript(self) -> str:
+        lines = []
+        for step in self.steps:
+            status = "ok" if step.ok else "FAIL"
+            lines.append(f"[{step.stage:<9}] {status:<5} {step.detail}")
+        return "\n".join(lines)
+
+
+class ChipAgent:
+    """Drive a model through the generate→feedback→repair→verify loop."""
+
+    def __init__(self, model: BehavioralModel | str = "ours-13b",
+                 max_rounds: int = 3, samples_per_round: int = 5,
+                 run_flow: bool = False,
+                 clock_period_ns: float = 10.0):
+        if isinstance(model, str):
+            model = get_model(model)
+        self.model = model
+        self.max_rounds = max_rounds
+        self.samples_per_round = samples_per_round
+        self.run_flow = run_flow
+        self.clock_period_ns = clock_period_ns
+
+    def build(self, problem: Problem,
+              level: str = "high") -> AgentResult:
+        """Run the loop for one benchmark problem."""
+        steps: list[AgentStep] = []
+        best: str | None = None
+        passed = False
+        rounds = 0
+        for round_index in range(self.max_rounds):
+            rounds = round_index + 1
+            candidates = self.model.generate_verilog(
+                problem.reference, problem.tier, problem.difficulty,
+                level=level, n_samples=self.samples_per_round,
+                problem_name=f"{problem.name}#r{round_index}")
+            steps.append(AgentStep(
+                "generate", True,
+                f"round {rounds}: {len(candidates)} candidates from "
+                f"prompt level '{level}'"))
+            survivors: list[str] = []
+            for position, candidate in enumerate(candidates):
+                report = check_source(candidate,
+                                      f"./{problem.name}.v")
+                if report.ok:
+                    survivors.append(candidate)
+                    continue
+                feedback = report.first_error()
+                steps.append(AgentStep("check", False,
+                                       feedback or "checker error"))
+                repairs = self.model.repair_verilog(
+                    candidate, feedback or "", problem.reference,
+                    problem.difficulty, n_samples=1,
+                    problem_name=f"{problem.name}#r{round_index}"
+                                 f"#c{position}")
+                repaired = repairs[0]
+                if check_source(repaired).ok:
+                    steps.append(AgentStep("repair", True,
+                                           "checker accepts repair"))
+                    survivors.append(repaired)
+                else:
+                    steps.append(AgentStep("repair", False,
+                                           "repair still rejected"))
+            for candidate in survivors:
+                verdict = run_testbench(candidate, problem.testbench)
+                if verdict.all_passed:
+                    steps.append(AgentStep(
+                        "simulate", True,
+                        f"{verdict.passed} checks passed"))
+                    best = candidate
+                    passed = True
+                    break
+                steps.append(AgentStep(
+                    "simulate", False,
+                    f"{verdict.failed} failing checks"
+                    if verdict.ok else f"sim error: {verdict.error}"))
+            if passed:
+                break
+        flow_result = None
+        if passed and self.run_flow and best is not None:
+            flow_result = self._run_flow(best, steps)
+        return AgentResult(design=best, passed=passed, rounds=rounds,
+                           steps=steps, flow_result=flow_result)
+
+    def _run_flow(self, design: str,
+                  steps: list[AgentStep]) -> FlowResult | None:
+        try:
+            result = Flow().run(design, None, FlowConstraints(
+                clock_period_ns=self.clock_period_ns))
+        except SynthesisError as exc:
+            steps.append(AgentStep("flow", False, str(exc)))
+            return None
+        if result.ok and result.ppa is not None:
+            steps.append(AgentStep(
+                "flow", True,
+                f"GDS out: {result.ppa.num_cells} cells, "
+                f"{result.ppa.die_area_um2:.0f} um^2, "
+                f"fmax {result.ppa.fmax_mhz:.0f} MHz"))
+        else:
+            failed = [s for s in result.stages if not s.ok]
+            steps.append(AgentStep(
+                "flow", False,
+                failed[0].error if failed else "flow failed"))
+        return result

@@ -1,0 +1,1007 @@
+"""RTLLM-style benchmark suite: the 29 designs of the paper's Table 3.
+
+Each entry re-implements the named RTLLM design (Lu et al., ASP-DAC) at
+equivalent complexity, with a self-checking testbench.  Table 5 evaluates
+the 18-design subset the paper lists; :func:`rtllm_table5_subset` returns
+it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..nl import describe_source
+from .problems import Problem, spaced_difficulties
+
+#: Table 5 uses this 18-design subset (paper row order).
+TABLE5_NAMES = (
+    "accu", "adder_8bit", "adder_16bit", "adder_32bit", "adder_64bit",
+    "multi_16bit", "Johnson_Counter", "right_shifter", "mux",
+    "counter_12", "signal_generator", "serial2parallel", "edge_detect",
+    "width_8to16", "calendar", "RAM", "alu", "pe",
+)
+
+_RAW: list[tuple[str, str, str, str]] = []     # (name, middle, ref, tb)
+
+
+def _add(name: str, middle: str, reference: str, testbench: str) -> None:
+    _RAW.append((name, middle,
+                 reference, f"module tb;\n{testbench}\nendmodule\n"))
+
+
+_CLK = "  always #5 clk = ~clk;\n"
+
+_add("accu",
+     "Accumulate four serial 8-bit inputs; raise valid with the 10-bit "
+     "sum after every fourth input.",
+     """module accu (input clk, input rst_n, input [7:0] data_in,
+             input valid_in, output reg valid_out,
+             output reg [9:0] data_out);
+  reg [9:0] sum;
+  reg [1:0] cnt;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      sum <= 10'd0; cnt <= 2'd0; valid_out <= 1'b0; data_out <= 10'd0;
+    end else if (valid_in) begin
+      if (cnt == 2'd3) begin
+        data_out <= sum + data_in;
+        valid_out <= 1'b1;
+        sum <= 10'd0;
+        cnt <= 2'd0;
+      end else begin
+        sum <= sum + data_in;
+        cnt <= cnt + 2'd1;
+        valid_out <= 1'b0;
+      end
+    end else
+      valid_out <= 1'b0;
+endmodule
+""",
+     """  reg clk, rst_n, valid_in; reg [7:0] data_in;
+  wire valid_out; wire [9:0] data_out;
+  accu dut (.clk(clk), .rst_n(rst_n), .data_in(data_in),
+            .valid_in(valid_in), .valid_out(valid_out),
+            .data_out(data_out));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; valid_in = 0; data_in = 0;
+    #12 rst_n = 1; valid_in = 1;
+    data_in = 8'd10; #10;
+    data_in = 8'd20; #10;
+    data_in = 8'd30; #10;
+    data_in = 8'd40; #10;
+    valid_in = 0; #2;
+    if (valid_out && data_out == 10'd100) $display("PASS sum");
+    else $display("FAIL sum got %0d v=%b", data_out, valid_out);
+    #10;
+    if (!valid_out) $display("PASS onecycle");
+    else $display("FAIL onecycle");
+    $finish;
+  end""")
+
+_add("adder_8bit",
+     "An 8-bit full adder with carry-in and carry-out.",
+     """module adder_8bit (input [7:0] a, input [7:0] b, input cin,
+                   output [7:0] sum, output cout);
+  assign {cout, sum} = {1'b0, a} + {1'b0, b} + cin;
+endmodule
+""",
+     """  reg [7:0] a, b; reg cin; wire [7:0] sum; wire cout;
+  adder_8bit dut (.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+  initial begin
+    a = 8'd100; b = 8'd55; cin = 0; #1;
+    if (sum == 8'd155 && !cout) $display("PASS nocarry");
+    else $display("FAIL nocarry");
+    a = 8'd200; b = 8'd100; cin = 1; #1;
+    if (sum == 8'd45 && cout) $display("PASS carry");
+    else $display("FAIL carry got %0d c=%b", sum, cout);
+    $finish;
+  end""")
+
+_add("adder_16bit",
+     "A 16-bit adder with carry-out.",
+     """module adder_16bit (input [15:0] a, input [15:0] b, input cin,
+                    output [15:0] sum, output cout);
+  assign {cout, sum} = {1'b0, a} + {1'b0, b} + cin;
+endmodule
+""",
+     """  reg [15:0] a, b; reg cin; wire [15:0] sum; wire cout;
+  adder_16bit dut (.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+  initial begin
+    a = 16'd40000; b = 16'd30000; cin = 0; #1;
+    if (sum == 16'd4464 && cout) $display("PASS wrap");
+    else $display("FAIL wrap");
+    a = 16'd5; b = 16'd6; cin = 1; #1;
+    if (sum == 16'd12 && !cout) $display("PASS small");
+    else $display("FAIL small");
+    $finish;
+  end""")
+
+_add("adder_32bit",
+     "A 32-bit carry-lookahead style adder.",
+     """module adder_32bit (input [31:0] a, input [31:0] b,
+                    output [31:0] sum, output cout);
+  assign {cout, sum} = {1'b0, a} + {1'b0, b};
+endmodule
+""",
+     """  reg [31:0] a, b; wire [31:0] sum; wire cout;
+  adder_32bit dut (.a(a), .b(b), .sum(sum), .cout(cout));
+  initial begin
+    a = 32'hFFFF_FFFF; b = 32'd1; #1;
+    if (sum == 32'd0 && cout) $display("PASS carry");
+    else $display("FAIL carry");
+    a = 32'd123456; b = 32'd654321; #1;
+    if (sum == 32'd777777) $display("PASS add");
+    else $display("FAIL add");
+    $finish;
+  end""")
+
+_add("adder_64bit",
+     "A 64-bit ripple adder.",
+     """module adder_64bit (input [63:0] a, input [63:0] b,
+                    output [63:0] sum, output cout);
+  assign {cout, sum} = {1'b0, a} + {1'b0, b};
+endmodule
+""",
+     """  reg [63:0] a, b; wire [63:0] sum; wire cout;
+  adder_64bit dut (.a(a), .b(b), .sum(sum), .cout(cout));
+  initial begin
+    a = 64'hFFFF_FFFF_FFFF_FFFF; b = 64'd2; #1;
+    if (sum == 64'd1 && cout) $display("PASS carry");
+    else $display("FAIL carry");
+    $finish;
+  end""")
+
+_add("multi_16bit",
+     "A 16-bit multiplier producing a 32-bit product.",
+     """module multi_16bit (input [15:0] a, input [15:0] b,
+                    output [31:0] p);
+  assign p = {16'd0, a} * {16'd0, b};
+endmodule
+""",
+     """  reg [15:0] a, b; wire [31:0] p;
+  multi_16bit dut (.a(a), .b(b), .p(p));
+  initial begin
+    a = 16'd300; b = 16'd200; #1;
+    if (p == 32'd60000) $display("PASS small");
+    else $display("FAIL small");
+    a = 16'hFFFF; b = 16'hFFFF; #1;
+    if (p == 32'hFFFE0001) $display("PASS max");
+    else $display("FAIL max");
+    $finish;
+  end""")
+
+_add("multi_pipe_4bit",
+     "A two-stage pipelined 4-bit multiplier.",
+     """module multi_pipe_4bit (input clk, input rst_n, input [3:0] a,
+                        input [3:0] b, output reg [7:0] p);
+  reg [7:0] stage;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      stage <= 8'd0; p <= 8'd0;
+    end else begin
+      stage <= {4'd0, a} * {4'd0, b};
+      p <= stage;
+    end
+endmodule
+""",
+     """  reg clk, rst_n; reg [3:0] a, b; wire [7:0] p;
+  multi_pipe_4bit dut (.clk(clk), .rst_n(rst_n), .a(a), .b(b), .p(p));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; a = 4'd5; b = 4'd7;
+    #12 rst_n = 1;
+    #4;
+    if (p == 8'd0) $display("PASS latency");
+    else $display("FAIL latency got %0d", p);
+    #16;
+    if (p == 8'd35) $display("PASS mul");
+    else $display("FAIL mul got %0d", p);
+    a = 4'd15; b = 4'd15;
+    #20;
+    if (p == 8'd225) $display("PASS max");
+    else $display("FAIL max got %0d", p);
+    $finish;
+  end""")
+
+_add("multi_pipe_8bit",
+     "A two-stage pipelined 8-bit multiplier.",
+     """module multi_pipe_8bit (input clk, input rst_n, input [7:0] a,
+                        input [7:0] b, output reg [15:0] p);
+  reg [15:0] stage;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      stage <= 16'd0; p <= 16'd0;
+    end else begin
+      stage <= {8'd0, a} * {8'd0, b};
+      p <= stage;
+    end
+endmodule
+""",
+     """  reg clk, rst_n; reg [7:0] a, b; wire [15:0] p;
+  multi_pipe_8bit dut (.clk(clk), .rst_n(rst_n), .a(a), .b(b), .p(p));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; a = 8'd100; b = 8'd200;
+    #12 rst_n = 1;
+    #4;
+    if (p == 16'd0) $display("PASS latency");
+    else $display("FAIL latency got %0d", p);
+    #16;
+    if (p == 16'd20000) $display("PASS mul");
+    else $display("FAIL mul got %0d", p);
+    a = 8'd255; b = 8'd255;
+    #20;
+    if (p == 16'd65025) $display("PASS max");
+    else $display("FAIL max got %0d", p);
+    $finish;
+  end""")
+
+_add("multi_booth",
+     "An iterative 8-bit Booth-style multiplier with start and done.",
+     """module multi_booth (input clk, input rst_n, input start,
+                    input [7:0] a, input [7:0] b,
+                    output reg [15:0] p, output reg done);
+  reg [15:0] acc;
+  reg [15:0] mcand;
+  reg [7:0] mplier;
+  reg [3:0] cnt;
+  reg busy;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      acc <= 16'd0; mcand <= 16'd0; mplier <= 8'd0;
+      cnt <= 4'd0; busy <= 1'b0; done <= 1'b0; p <= 16'd0;
+    end else if (start && !busy) begin
+      acc <= 16'd0;
+      mcand <= {8'd0, a};
+      mplier <= b;
+      cnt <= 4'd0;
+      busy <= 1'b1;
+      done <= 1'b0;
+    end else if (busy) begin
+      if (mplier[0])
+        acc <= acc + mcand;
+      mcand <= mcand << 1;
+      mplier <= mplier >> 1;
+      if (cnt == 4'd7) begin
+        busy <= 1'b0;
+        done <= 1'b1;
+        p <= mplier[0] ? (acc + mcand) : acc;
+      end else
+        cnt <= cnt + 4'd1;
+    end else
+      done <= 1'b0;
+endmodule
+""",
+     """  reg clk, rst_n, start; reg [7:0] a, b;
+  wire [15:0] p; wire done;
+  multi_booth dut (.clk(clk), .rst_n(rst_n), .start(start), .a(a),
+                   .b(b), .p(p), .done(done));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; start = 0; a = 8'd12; b = 8'd11;
+    #12 rst_n = 1; start = 1;
+    #10 start = 0;
+    #120;
+    if (p == 16'd132) $display("PASS booth");
+    else $display("FAIL booth got %0d", p);
+    a = 8'd250; b = 8'd3; start = 1;
+    #10 start = 0;
+    #120;
+    if (p == 16'd750) $display("PASS booth2");
+    else $display("FAIL booth2 got %0d", p);
+    $finish;
+  end""")
+
+_add("div_16bit",
+     "A combinational 16-by-8 divider with quotient and remainder.",
+     """module div_16bit (input [15:0] a, input [7:0] b,
+                  output [15:0] q, output [7:0] r);
+  assign q = (b == 8'd0) ? 16'hFFFF : a / b;
+  assign r = (b == 8'd0) ? 8'hFF : a % b;
+endmodule
+""",
+     """  reg [15:0] a; reg [7:0] b; wire [15:0] q; wire [7:0] r;
+  div_16bit dut (.a(a), .b(b), .q(q), .r(r));
+  initial begin
+    a = 16'd1000; b = 8'd7; #1;
+    if (q == 16'd142 && r == 8'd6) $display("PASS div");
+    else $display("FAIL div q=%0d r=%0d", q, r);
+    a = 16'd64; b = 8'd8; #1;
+    if (q == 16'd8 && r == 8'd0) $display("PASS exact");
+    else $display("FAIL exact");
+    a = 16'd9; b = 8'd0; #1;
+    if (q == 16'hFFFF && r == 8'hFF) $display("PASS divzero");
+    else $display("FAIL divzero");
+    a = 16'd3; b = 8'd100; #1;
+    if (q == 16'd0 && r == 8'd3) $display("PASS small");
+    else $display("FAIL small");
+    $finish;
+  end""")
+
+_add("radix2_div",
+     "A sequential restoring radix-2 divider with start and done.",
+     """module radix2_div (input clk, input rst_n, input start,
+                   input [7:0] dividend, input [7:0] divisor,
+                   output reg [7:0] quotient, output reg [7:0] remainder,
+                   output reg done);
+  reg [8:0] rem;
+  reg [7:0] dvd, d;
+  reg [3:0] cnt;
+  reg busy;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      rem <= 9'd0; dvd <= 8'd0; d <= 8'd0; cnt <= 4'd0; busy <= 1'b0;
+      done <= 1'b0; quotient <= 8'd0; remainder <= 8'd0;
+    end else if (start && !busy) begin
+      rem <= 9'd0;
+      dvd <= dividend;
+      d <= divisor;
+      cnt <= 4'd0;
+      busy <= 1'b1;
+      done <= 1'b0;
+    end else if (busy) begin
+      if ({rem[7:0], dvd[7]} >= {1'b0, d}) begin
+        rem <= {rem[7:0], dvd[7]} - {1'b0, d};
+        dvd <= {dvd[6:0], 1'b1};
+      end else begin
+        rem <= {rem[7:0], dvd[7]};
+        dvd <= {dvd[6:0], 1'b0};
+      end
+      if (cnt == 4'd7) begin
+        busy <= 1'b0;
+        done <= 1'b1;
+      end else
+        cnt <= cnt + 4'd1;
+    end else if (done) begin
+      quotient <= dvd;
+      remainder <= rem[7:0];
+      done <= 1'b0;
+    end
+endmodule
+""",
+     """  reg clk, rst_n, start; reg [7:0] dividend, divisor;
+  wire [7:0] quotient, remainder; wire done;
+  radix2_div dut (.clk(clk), .rst_n(rst_n), .start(start),
+                  .dividend(dividend), .divisor(divisor),
+                  .quotient(quotient), .remainder(remainder),
+                  .done(done));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; start = 0; dividend = 8'd100; divisor = 8'd9;
+    #12 rst_n = 1; start = 1;
+    #10 start = 0;
+    #140;
+    if (quotient == 8'd11 && remainder == 8'd1) $display("PASS div");
+    else $display("FAIL div q=%0d r=%0d", quotient, remainder);
+    $finish;
+  end""")
+
+_add("Johnson_Counter",
+     "A 4-bit Johnson (twisted ring) counter.",
+     """module Johnson_Counter (input clk, input rst_n,
+                        output reg [3:0] q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 4'd0;
+    else q <= {~q[0], q[3:1]};
+endmodule
+""",
+     """  reg clk, rst_n; wire [3:0] q;
+  Johnson_Counter dut (.clk(clk), .rst_n(rst_n), .q(q));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0;
+    #12 rst_n = 1;
+    #10;
+    if (q == 4'b1000) $display("PASS s1"); else $display("FAIL s1 %b", q);
+    #10;
+    if (q == 4'b1100) $display("PASS s2"); else $display("FAIL s2 %b", q);
+    #10;
+    if (q == 4'b1110) $display("PASS s3"); else $display("FAIL s3 %b", q);
+    $finish;
+  end""")
+
+_add("right_shifter",
+     "An 8-bit right shifter shifting serial input d into the MSB.",
+     """module right_shifter (input clk, input d, output reg [7:0] q);
+  always @(posedge clk)
+    q <= {d, q[7:1]};
+endmodule
+""",
+     """  reg clk, d; wire [7:0] q;
+  right_shifter dut (.clk(clk), .d(d), .q(q));
+  initial begin
+    clk = 0; d = 1;
+    dut.q = 8'd0;
+    repeat (2) begin #2 clk = 1; #2 clk = 0; end
+    if (q == 8'b1100_0000) $display("PASS shift");
+    else $display("FAIL shift got %b", q);
+    $finish;
+  end""")
+
+_add("mux",
+     "A 16-bit wide 2-to-1 multiplexer.",
+     """module mux (input [15:0] a, input [15:0] b, input sel,
+            output [15:0] y);
+  assign y = sel ? b : a;
+endmodule
+""",
+     """  reg [15:0] a, b; reg sel; wire [15:0] y;
+  mux dut (.a(a), .b(b), .sel(sel), .y(y));
+  initial begin
+    a = 16'h1234; b = 16'hABCD;
+    sel = 0; #1;
+    if (y == 16'h1234) $display("PASS a"); else $display("FAIL a");
+    sel = 1; #1;
+    if (y == 16'hABCD) $display("PASS b"); else $display("FAIL b");
+    $finish;
+  end""")
+
+_add("counter_12",
+     "A modulo-12 counter with synchronous reset and enable.",
+     """module counter_12 (input clk, input rst_n, input valid_count,
+                   output reg [3:0] out);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) out <= 4'd0;
+    else if (valid_count) begin
+      if (out == 4'd11) out <= 4'd0;
+      else out <= out + 4'd1;
+    end
+endmodule
+""",
+     """  reg clk, rst_n, valid_count; wire [3:0] out;
+  counter_12 dut (.clk(clk), .rst_n(rst_n), .valid_count(valid_count),
+                  .out(out));
+""" + _CLK + """  integer i;
+  initial begin
+    clk = 0; rst_n = 0; valid_count = 0;
+    #12 rst_n = 1; valid_count = 1;
+    for (i = 0; i < 11; i = i + 1) #10;
+    if (out == 4'd11) $display("PASS eleven");
+    else $display("FAIL eleven got %0d", out);
+    #10;
+    if (out == 4'd0) $display("PASS wrap"); else $display("FAIL wrap");
+    valid_count = 0; #20;
+    if (out == 4'd0) $display("PASS gate"); else $display("FAIL gate");
+    $finish;
+  end""")
+
+_add("freq_div",
+     "Divide the input clock by 2 and by 4.",
+     """module freq_div (input clk, input rst_n,
+                 output reg clk_div2, output reg [1:0] cnt4,
+                 output clk_div4);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) clk_div2 <= 1'b0;
+    else clk_div2 <= ~clk_div2;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) cnt4 <= 2'd0;
+    else cnt4 <= cnt4 + 2'd1;
+  assign clk_div4 = cnt4[1];
+endmodule
+""",
+     """  reg clk, rst_n; wire clk_div2, clk_div4; wire [1:0] cnt4;
+  freq_div dut (.clk(clk), .rst_n(rst_n), .clk_div2(clk_div2),
+                .cnt4(cnt4), .clk_div4(clk_div4));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0;
+    #12 rst_n = 1;
+    #10;
+    if (clk_div2 == 1) $display("PASS half1"); else $display("FAIL half1");
+    if (cnt4 == 2'd1) $display("PASS cnt1"); else $display("FAIL cnt1");
+    #10;
+    if (clk_div2 == 0) $display("PASS half2"); else $display("FAIL half2");
+    #10;
+    if (clk_div4 == 1) $display("PASS quarter");
+    else $display("FAIL quarter");
+    #20;
+    if (clk_div4 == 0) $display("PASS quarterlow");
+    else $display("FAIL quarterlow");
+    $finish;
+  end""")
+
+_add("signal_generator",
+     "A triangle wave generator counting 0 up to 10 and back down.",
+     """module signal_generator (input clk, input rst_n,
+                         output reg [4:0] wave);
+  reg up;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      wave <= 5'd0; up <= 1'b1;
+    end else if (up) begin
+      if (wave == 5'd10) begin
+        wave <= 5'd9; up <= 1'b0;
+      end else
+        wave <= wave + 5'd1;
+    end else begin
+      if (wave == 5'd0) begin
+        wave <= 5'd1; up <= 1'b1;
+      end else
+        wave <= wave - 5'd1;
+    end
+endmodule
+""",
+     """  reg clk, rst_n; wire [4:0] wave;
+  signal_generator dut (.clk(clk), .rst_n(rst_n), .wave(wave));
+""" + _CLK + """  integer i; reg [4:0] peak;
+  initial begin
+    clk = 0; rst_n = 0; peak = 0;
+    #12 rst_n = 1;
+    for (i = 0; i < 10; i = i + 1) #10;
+    if (wave == 5'd10) $display("PASS top");
+    else $display("FAIL top got %0d", wave);
+    #30;
+    if (wave == 5'd7) $display("PASS down");
+    else $display("FAIL down got %0d", wave);
+    $finish;
+  end""")
+
+_add("serial2parallel",
+     "Collect 8 serial bits MSB-first into a byte with a valid pulse.",
+     """module serial2parallel (input clk, input rst_n, input din,
+                        output reg [7:0] dout, output reg valid);
+  reg [2:0] cnt;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      cnt <= 3'd0; dout <= 8'd0; valid <= 1'b0;
+    end else begin
+      dout <= {dout[6:0], din};
+      if (cnt == 3'd7) begin
+        cnt <= 3'd0;
+        valid <= 1'b1;
+      end else begin
+        cnt <= cnt + 3'd1;
+        valid <= 1'b0;
+      end
+    end
+endmodule
+""",
+     """  reg clk, rst_n, din; wire [7:0] dout; wire valid;
+  serial2parallel dut (.clk(clk), .rst_n(rst_n), .din(din),
+                       .dout(dout), .valid(valid));
+""" + _CLK + """  reg [7:0] pattern; integer i;
+  initial begin
+    clk = 0; rst_n = 0; din = 0; pattern = 8'h5C;
+    #12 rst_n = 1;
+    for (i = 7; i >= 0; i = i - 1) begin
+      din = pattern[i]; #10;
+      if (i == 4 && valid) $display("FAIL early valid");
+    end
+    if (valid && dout == pattern) $display("PASS byte");
+    else $display("FAIL byte got %h v=%b", dout, valid);
+    pattern = 8'hA3;
+    for (i = 7; i >= 0; i = i - 1) begin
+      din = pattern[i]; #10;
+      if (i == 3 && valid) $display("FAIL midstream valid");
+    end
+    if (valid && dout == pattern) $display("PASS byte2");
+    else $display("FAIL byte2 got %h v=%b", dout, valid);
+    $finish;
+  end""")
+
+_add("parallel2serial",
+     "Emit a 4-bit word serially MSB-first with a valid flag.",
+     """module parallel2serial (input clk, input rst_n, input [3:0] d,
+                        output valid_out, output dout);
+  reg [3:0] data;
+  reg [1:0] cnt;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      data <= 4'd0; cnt <= 2'd0;
+    end else if (cnt == 2'd3) begin
+      data <= d;
+      cnt <= 2'd0;
+    end else begin
+      data <= {data[2:0], 1'b0};
+      cnt <= cnt + 2'd1;
+    end
+  assign dout = data[3];
+  assign valid_out = 1'b1;
+endmodule
+""",
+     """  reg clk, rst_n; reg [3:0] d; wire valid_out, dout;
+  parallel2serial dut (.clk(clk), .rst_n(rst_n), .d(d),
+                       .valid_out(valid_out), .dout(dout));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; d = 4'b1010;
+    #12 rst_n = 1;
+    #40;   // first reload happens when cnt wraps
+    #2;
+    if (dout == 1'b1) $display("PASS b3"); else $display("FAIL b3");
+    #10;
+    if (dout == 1'b0) $display("PASS b2"); else $display("FAIL b2");
+    #10;
+    if (dout == 1'b1) $display("PASS b1"); else $display("FAIL b1");
+    #10;
+    if (dout == 1'b0) $display("PASS b0"); else $display("FAIL b0");
+    d = 4'b0110; #4;
+    if (dout == 1'b0) $display("PASS r3"); else $display("FAIL r3");
+    #10;
+    if (dout == 1'b1) $display("PASS r2"); else $display("FAIL r2");
+    $finish;
+  end""")
+
+_add("pulse_detect",
+     "Detect a 0-1-0 pulse on the input over three cycles.",
+     """module pulse_detect (input clk, input rst_n, input data_in,
+                     output reg data_out);
+  reg [1:0] state;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      state <= 2'd0; data_out <= 1'b0;
+    end else begin
+      data_out <= 1'b0;
+      case (state)
+        2'd0: if (data_in) state <= 2'd1;
+        2'd1: if (!data_in) begin
+          state <= 2'd0;
+          data_out <= 1'b1;
+        end
+        default: state <= 2'd0;
+      endcase
+    end
+endmodule
+""",
+     """  reg clk, rst_n, data_in; wire data_out;
+  pulse_detect dut (.clk(clk), .rst_n(rst_n), .data_in(data_in),
+                    .data_out(data_out));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; data_in = 0;
+    #12 rst_n = 1;
+    data_in = 1; #10;
+    data_in = 0; #10;
+    #2;
+    if (data_out) $display("PASS pulse"); else $display("FAIL pulse");
+    #10;
+    if (!data_out) $display("PASS clear"); else $display("FAIL clear");
+    $finish;
+  end""")
+
+_add("edge_detect",
+     "Detect rising and falling edges of a slow input signal.",
+     """module edge_detect (input clk, input rst_n, input a,
+                    output reg rise, output reg down);
+  reg last;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      last <= 1'b0; rise <= 1'b0; down <= 1'b0;
+    end else begin
+      rise <= a & ~last;
+      down <= ~a & last;
+      last <= a;
+    end
+endmodule
+""",
+     """  reg clk, rst_n, a; wire rise, down;
+  edge_detect dut (.clk(clk), .rst_n(rst_n), .a(a), .rise(rise),
+                   .down(down));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; a = 0;
+    #12 rst_n = 1;
+    a = 1; #10; #2;
+    if (rise && !down) $display("PASS rise"); else $display("FAIL rise");
+    #10;
+    if (!rise) $display("PASS riseclr"); else $display("FAIL riseclr");
+    a = 0; #4;
+    if (down) $display("PASS down"); else $display("FAIL down");
+    $finish;
+  end""")
+
+_add("fsm",
+     "A Mealy FSM detecting the serial pattern 1011 with overlap.",
+     """module fsm (input clk, input rst_n, input in, output reg match);
+  reg [1:0] state;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      state <= 2'd0; match <= 1'b0;
+    end else begin
+      match <= 1'b0;
+      case (state)
+        2'd0: state <= in ? 2'd1 : 2'd0;
+        2'd1: state <= in ? 2'd1 : 2'd2;
+        2'd2: state <= in ? 2'd3 : 2'd0;
+        2'd3: begin
+          if (in) begin
+            match <= 1'b1;
+            state <= 2'd1;
+          end else
+            state <= 2'd2;
+        end
+      endcase
+    end
+endmodule
+""",
+     """  reg clk, rst_n, in; wire match;
+  fsm dut (.clk(clk), .rst_n(rst_n), .in(in), .match(match));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; in = 0;
+    #12 rst_n = 1;
+    in = 1; #10;
+    in = 0; #10;
+    in = 1; #10;
+    if (match) $display("FAIL premature");
+    in = 1; #10;
+    #2;
+    if (match) $display("PASS 1011"); else $display("FAIL 1011");
+    #8;
+    in = 0; #10;
+    if (!match) $display("PASS clear"); else $display("FAIL clear");
+    in = 1; #10; in = 1; #10; in = 1; #10;
+    if (!match) $display("PASS no111"); else $display("FAIL no111");
+    $finish;
+  end""")
+
+_add("width_8to16",
+     "Combine two sequential 8-bit inputs into one 16-bit output.",
+     """module width_8to16 (input clk, input rst_n, input valid_in,
+                    input [7:0] data_in, output reg valid_out,
+                    output reg [15:0] data_out);
+  reg [7:0] hold;
+  reg have;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      hold <= 8'd0; have <= 1'b0; valid_out <= 1'b0; data_out <= 16'd0;
+    end else if (valid_in) begin
+      if (have) begin
+        data_out <= {hold, data_in};
+        valid_out <= 1'b1;
+        have <= 1'b0;
+      end else begin
+        hold <= data_in;
+        have <= 1'b1;
+        valid_out <= 1'b0;
+      end
+    end else
+      valid_out <= 1'b0;
+endmodule
+""",
+     """  reg clk, rst_n, valid_in; reg [7:0] data_in;
+  wire valid_out; wire [15:0] data_out;
+  width_8to16 dut (.clk(clk), .rst_n(rst_n), .valid_in(valid_in),
+                   .data_in(data_in), .valid_out(valid_out),
+                   .data_out(data_out));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; valid_in = 0; data_in = 0;
+    #12 rst_n = 1; valid_in = 1;
+    data_in = 8'hAB; #10;
+    if (valid_out) $display("FAIL half");
+    data_in = 8'hCD; #10;
+    valid_in = 0; #2;
+    if (valid_out && data_out == 16'hABCD) $display("PASS pair");
+    else $display("FAIL pair got %h", data_out);
+    #10;
+    if (!valid_out) $display("PASS clear"); else $display("FAIL clear");
+    valid_in = 1;
+    data_in = 8'h12; #10;
+    data_in = 8'h34; #8;
+    valid_in = 0; #2;
+    if (valid_out && data_out == 16'h1234) $display("PASS pair2");
+    else $display("FAIL pair2 got %h", data_out);
+    $finish;
+  end""")
+
+_add("traffic_light",
+     "A traffic light with green 4, yellow 1, red 3 cycle phases.",
+     """module traffic_light (input clk, input rst_n, output reg green,
+                      output reg yellow, output reg red);
+  reg [2:0] t;
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) t <= 3'd0;
+    else if (t == 3'd7) t <= 3'd0;
+    else t <= t + 3'd1;
+  always @(*) begin
+    green = t < 3'd4;
+    yellow = t == 3'd4;
+    red = t > 3'd4;
+  end
+endmodule
+""",
+     """  reg clk, rst_n; wire green, yellow, red;
+  traffic_light dut (.clk(clk), .rst_n(rst_n), .green(green),
+                     .yellow(yellow), .red(red));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0;
+    #12 rst_n = 1;
+    if (green) $display("PASS g"); else $display("FAIL g");
+    #40;
+    if (yellow) $display("PASS y"); else $display("FAIL y");
+    #10;
+    if (red) $display("PASS r"); else $display("FAIL r");
+    #30;
+    if (green) $display("PASS wrap"); else $display("FAIL wrap");
+    $finish;
+  end""")
+
+_add("calendar",
+     "A seconds/minutes/hours clock (60/60/24).",
+     """module calendar (input clk, input rst_n, output reg [5:0] secs,
+                 output reg [5:0] mins, output reg [5:0] hours);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) begin
+      secs <= 6'd0; mins <= 6'd0; hours <= 6'd0;
+    end else begin
+      if (secs == 6'd59) begin
+        secs <= 6'd0;
+        if (mins == 6'd59) begin
+          mins <= 6'd0;
+          if (hours == 6'd23) hours <= 6'd0;
+          else hours <= hours + 6'd1;
+        end else
+          mins <= mins + 6'd1;
+      end else
+        secs <= secs + 6'd1;
+    end
+endmodule
+""",
+     """  reg clk, rst_n; wire [5:0] secs, mins, hours;
+  calendar dut (.clk(clk), .rst_n(rst_n), .secs(secs), .mins(mins),
+                .hours(hours));
+""" + _CLK + """  integer i;
+  initial begin
+    clk = 0; rst_n = 0;
+    #12 rst_n = 1;
+    for (i = 0; i < 61; i = i + 1) #10;
+    if (mins == 6'd1 && secs == 6'd1) $display("PASS rollover");
+    else $display("FAIL rollover m=%0d s=%0d", mins, secs);
+    dut.secs = 6'd59; dut.mins = 6'd59; dut.hours = 6'd23;
+    #10;
+    if (hours == 6'd0 && mins == 6'd0 && secs == 6'd0)
+      $display("PASS midnight");
+    else $display("FAIL midnight h=%0d m=%0d s=%0d", hours, mins, secs);
+    dut.secs = 6'd59; dut.mins = 6'd3; dut.hours = 6'd5;
+    #10;
+    if (hours == 6'd5 && mins == 6'd4 && secs == 6'd0)
+      $display("PASS minwrap");
+    else $display("FAIL minwrap");
+    $finish;
+  end""")
+
+_add("RAM",
+     "An 8x4 synchronous-write, asynchronous-read RAM.",
+     """module RAM (input clk, input we, input [2:0] waddr,
+            input [3:0] wdata, input [2:0] raddr,
+            output [3:0] rdata);
+  reg [3:0] mem [0:7];
+  always @(posedge clk)
+    if (we) mem[waddr] <= wdata;
+  assign rdata = mem[raddr];
+endmodule
+""",
+     """  reg clk, we; reg [2:0] waddr, raddr; reg [3:0] wdata;
+  wire [3:0] rdata;
+  RAM dut (.clk(clk), .we(we), .waddr(waddr), .wdata(wdata),
+           .raddr(raddr), .rdata(rdata));
+  initial begin
+    clk = 0; we = 1; waddr = 3'd2; wdata = 4'hA;
+    #2 clk = 1; #2 clk = 0;
+    waddr = 3'd5; wdata = 4'h7;
+    #2 clk = 1; #2 clk = 0;
+    we = 0; raddr = 3'd2; #1;
+    if (rdata == 4'hA) $display("PASS r2"); else $display("FAIL r2");
+    raddr = 3'd5; #1;
+    if (rdata == 4'h7) $display("PASS r5"); else $display("FAIL r5");
+    $finish;
+  end""")
+
+_add("asyn_fifo",
+     "A dual-clock 4-entry FIFO with empty and full flags.",
+     """module asyn_fifo (input wclk, input rclk, input rst_n,
+                  input push, input pop, input [7:0] din,
+                  output [7:0] dout, output empty, output full);
+  reg [7:0] mem [0:3];
+  reg [2:0] wptr, rptr;
+  always @(posedge wclk or negedge rst_n)
+    if (!rst_n) wptr <= 3'd0;
+    else if (push && !full) begin
+      mem[wptr[1:0]] <= din;
+      wptr <= wptr + 3'd1;
+    end
+  always @(posedge rclk or negedge rst_n)
+    if (!rst_n) rptr <= 3'd0;
+    else if (pop && !empty) rptr <= rptr + 3'd1;
+  assign dout = mem[rptr[1:0]];
+  assign empty = wptr == rptr;
+  assign full = (wptr[1:0] == rptr[1:0]) && (wptr[2] != rptr[2]);
+endmodule
+""",
+     """  reg wclk, rclk, rst_n, push, pop; reg [7:0] din;
+  wire [7:0] dout; wire empty, full;
+  asyn_fifo dut (.wclk(wclk), .rclk(rclk), .rst_n(rst_n), .push(push),
+                 .pop(pop), .din(din), .dout(dout), .empty(empty),
+                 .full(full));
+  always #4 wclk = ~wclk;
+  always #6 rclk = ~rclk;
+  initial begin
+    wclk = 0; rclk = 0; rst_n = 0; push = 0; pop = 0; din = 0;
+    #10 rst_n = 1;
+    if (empty) $display("PASS empty"); else $display("FAIL empty");
+    push = 1; din = 8'h11;
+    #8 din = 8'h22;
+    #8 push = 0;
+    #4;
+    if (!empty) $display("PASS filled"); else $display("FAIL filled");
+    if (dout == 8'h11) $display("PASS head"); else $display("FAIL head");
+    pop = 1; #12; pop = 0; #2;
+    if (dout == 8'h22) $display("PASS second");
+    else $display("FAIL second got %h", dout);
+    $finish;
+  end""")
+
+_add("alu",
+     "An 8-bit ALU: add, sub, and, or, xor, set-less-than.",
+     """module alu (input [7:0] a, input [7:0] b, input [2:0] op,
+            output reg [7:0] y);
+  always @(*)
+    case (op)
+      3'd0: y = a + b;
+      3'd1: y = a - b;
+      3'd2: y = a & b;
+      3'd3: y = a | b;
+      3'd4: y = a ^ b;
+      default: y = (a < b) ? 8'd1 : 8'd0;
+    endcase
+endmodule
+""",
+     """  reg [7:0] a, b; reg [2:0] op; wire [7:0] y;
+  alu dut (.a(a), .b(b), .op(op), .y(y));
+  initial begin
+    a = 8'd30; b = 8'd12;
+    op = 3'd0; #1;
+    if (y == 8'd42) $display("PASS add"); else $display("FAIL add");
+    op = 3'd1; #1;
+    if (y == 8'd18) $display("PASS sub"); else $display("FAIL sub");
+    op = 3'd2; #1;
+    if (y == (8'd30 & 8'd12)) $display("PASS and");
+    else $display("FAIL and");
+    op = 3'd3; #1;
+    if (y == (8'd30 | 8'd12)) $display("PASS or");
+    else $display("FAIL or");
+    op = 3'd4; #1;
+    if (y == (8'd30 ^ 8'd12)) $display("PASS xor");
+    else $display("FAIL xor");
+    op = 3'd5; #1;
+    if (y == 8'd0) $display("PASS slt0"); else $display("FAIL slt0");
+    a = 8'd3; #1;
+    if (y == 8'd1) $display("PASS slt1"); else $display("FAIL slt1");
+    $finish;
+  end""")
+
+_add("pe",
+     "A multiply-accumulate processing element with clear.",
+     """module pe (input clk, input rst_n, input [7:0] a, input [7:0] b,
+           output reg [15:0] acc);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) acc <= 16'd0;
+    else acc <= acc + a * b;
+endmodule
+""",
+     """  reg clk, rst_n; reg [7:0] a, b; wire [15:0] acc;
+  pe dut (.clk(clk), .rst_n(rst_n), .a(a), .b(b), .acc(acc));
+""" + _CLK + """  initial begin
+    clk = 0; rst_n = 0; a = 8'd3; b = 8'd5;
+    #12 rst_n = 1;
+    #10;
+    if (acc == 16'd15) $display("PASS mac1");
+    else $display("FAIL mac1 got %0d", acc);
+    a = 8'd10; b = 8'd10; #10;
+    if (acc == 16'd115) $display("PASS mac2");
+    else $display("FAIL mac2 got %0d", acc);
+    $finish;
+  end""")
+
+
+@lru_cache(maxsize=1)
+def rtllm_suite() -> tuple[Problem, ...]:
+    """All 29 RTLLM-style problems with evenly spaced difficulties."""
+    difficulties = spaced_difficulties(len(_RAW))
+    problems = []
+    for (name, middle, reference, testbench), difficulty in \
+            zip(_RAW, difficulties):
+        high = describe_source(reference).text
+        problems.append(Problem(
+            name=name, suite="rtllm", tier="rtllm", difficulty=difficulty,
+            prompts={"low": f"implement {name}", "middle": middle,
+                     "high": high},
+            reference=reference, testbench=testbench))
+    return tuple(problems)
+
+
+@lru_cache(maxsize=1)
+def rtllm_table5_subset() -> tuple[Problem, ...]:
+    """The 18-design subset Table 5 reports."""
+    by_name = {problem.name: problem for problem in rtllm_suite()}
+    return tuple(by_name[name] for name in TABLE5_NAMES)

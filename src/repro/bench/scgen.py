@@ -1,0 +1,82 @@
+"""SiliconCompiler script-generation benchmark (paper Table 4).
+
+Five task levels — Basic, Layout, Clock Period, Core Area, Mixed — each
+with a natural-language prompt (produced by the description oracle from
+the reference script, closing the same loop the paper uses), a reference
+script, and an *expectation* predicate the script runner enforces on the
+executed Chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..eda import BENCHMARK_SCRIPTS, Chip, Expectation
+from ..llm.oracle import DescriptionOracle
+
+TASK_ORDER = ("Basic", "Layout", "Clock Period", "Core Area", "Mixed")
+
+
+@dataclass(frozen=True)
+class ScriptTask:
+    """One Table-4 benchmark level."""
+
+    name: str
+    prompt: str
+    reference: str
+    expectation: Expectation
+
+
+def _expect_basic(chip: Chip) -> bool:
+    return chip.result is not None and chip.result.ok
+
+
+def _expect_layout(chip: Chip) -> bool:
+    outline = chip.get("asic", "diearea")
+    return (_expect_basic(chip) and outline is not None
+            and tuple(outline[1]) == (100, 100))
+
+
+def _expect_clock(chip: Chip) -> bool:
+    return _expect_basic(chip) and chip.get("clock", "period") == 10
+
+
+def _expect_core_area(chip: Chip) -> bool:
+    outline = chip.get("asic", "diearea")
+    return (_expect_basic(chip) and outline is not None
+            and tuple(outline[1]) == (120, 120)
+            and chip.get("constraint", "coremargin") == 2)
+
+
+def _expect_mixed(chip: Chip) -> bool:
+    outline = chip.get("asic", "diearea")
+    return (_expect_basic(chip)
+            and chip.get("clock", "period") == 12.5
+            and outline is not None and tuple(outline[1]) == (150, 150)
+            and chip.get("constraint", "coremargin") == 2
+            and chip.get("constraint", "density") == 60)
+
+
+_EXPECTATIONS: dict[str, Expectation] = {
+    "Basic": _expect_basic,
+    "Layout": _expect_layout,
+    "Clock Period": _expect_clock,
+    "Core Area": _expect_core_area,
+    "Mixed": _expect_mixed,
+}
+
+
+@lru_cache(maxsize=1)
+def scgen_suite() -> tuple[ScriptTask, ...]:
+    """The five Table-4 tasks in paper order."""
+    oracle = DescriptionOracle()
+    tasks = []
+    for name in TASK_ORDER:
+        reference = BENCHMARK_SCRIPTS[name]
+        tasks.append(ScriptTask(
+            name=name,
+            prompt=oracle.describe(reference),
+            reference=reference,
+            expectation=_EXPECTATIONS[name]))
+    return tuple(tasks)

@@ -1,0 +1,586 @@
+"""Thakur-et-al.-style benchmark suite: 17 problems × 3 prompt levels.
+
+The original benchmark (Thakur et al., DATE 2023) spans basic (4),
+intermediate (8) and advanced (5) problems with low/middle/high prompt
+detail.  We rebuild the same structure with equivalent designs at the same
+difficulty tiers; the high-detail prompt is generated from the reference
+implementation by the repo's own AST→NL rules, mirroring how the paper
+aligns descriptions with code.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..nl import describe_source
+from .problems import Problem, spaced_difficulties
+
+
+def _problem(name: str, tier: str, low: str, middle: str,
+             reference: str, testbench: str) -> Problem:
+    high = describe_source(reference).text
+    return Problem(name=name, suite="thakur", tier=tier, difficulty=0.0,
+                   prompts={"low": low, "middle": middle, "high": high},
+                   reference=reference, testbench=testbench)
+
+
+def _tb(body: str) -> str:
+    return f"module tb;\n{body}\nendmodule\n"
+
+
+_RAW: list[Problem] = []
+
+
+def _add(problem: Problem) -> None:
+    _RAW.append(problem)
+
+
+# -- basic -------------------------------------------------------------
+
+_add(_problem(
+    "basic1", "basic",
+    "a wire connecting input to output",
+    "Write a Verilog module named basic1 with one input a and one output "
+    "y where y simply follows a.",
+    """module basic1 (input a, output y);
+  assign y = a;
+endmodule
+""",
+    _tb("""  reg a; wire y;
+  basic1 dut (.a(a), .b(y));
+  initial begin
+    a = 0; #1;
+    if (y == 0) $display("PASS 0"); else $display("FAIL 0");
+    a = 1; #1;
+    if (y == 1) $display("PASS 1"); else $display("FAIL 1");
+    $finish;
+  end""").replace(".b(y)", ".y(y)")))
+
+_add(_problem(
+    "basic2", "basic",
+    "a two input and gate",
+    "Write a Verilog module named basic2 computing the logical AND of "
+    "inputs a and b on output y.",
+    """module basic2 (input a, input b, output y);
+  assign y = a & b;
+endmodule
+""",
+    _tb("""  reg a, b; wire y;
+  basic2 dut (.a(a), .b(b), .y(y));
+  integer i;
+  initial begin
+    for (i = 0; i < 4; i = i + 1) begin
+      a = i[1]; b = i[0]; #1;
+      if (y == (a & b)) $display("PASS %0d", i);
+      else $display("FAIL %0d", i);
+    end
+    $finish;
+  end""")))
+
+_add(_problem(
+    "basic3", "basic",
+    "a 2 to 1 multiplexer",
+    "Write a Verilog module named basic3: a 2-to-1 multiplexer with "
+    "4-bit data inputs a and b, select s, output y.",
+    """module basic3 (input [3:0] a, input [3:0] b, input s,
+               output [3:0] y);
+  assign y = s ? b : a;
+endmodule
+""",
+    _tb("""  reg [3:0] a, b; reg s; wire [3:0] y;
+  basic3 dut (.a(a), .b(b), .s(s), .y(y));
+  initial begin
+    a = 4'h3; b = 4'hC;
+    s = 0; #1;
+    if (y == 4'h3) $display("PASS sel0"); else $display("FAIL sel0");
+    s = 1; #1;
+    if (y == 4'hC) $display("PASS sel1"); else $display("FAIL sel1");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "basic4", "basic",
+    "a half adder",
+    "Write a Verilog module named basic4: a half adder with inputs a and "
+    "b, sum output s and carry output c.",
+    """module basic4 (input a, input b, output s, output c);
+  assign s = a ^ b;
+  assign c = a & b;
+endmodule
+""",
+    _tb("""  reg a, b; wire s, c;
+  basic4 dut (.a(a), .b(b), .s(s), .c(c));
+  integer i;
+  initial begin
+    for (i = 0; i < 4; i = i + 1) begin
+      a = i[1]; b = i[0]; #1;
+      if ({c, s} == {1'b0, a} + {1'b0, b}) $display("PASS %0d", i);
+      else $display("FAIL %0d", i);
+    end
+    $finish;
+  end""")))
+
+# -- intermediate ----------------------------------------------------------
+
+_add(_problem(
+    "intermediate1", "intermediate",
+    "an 8 bit counter with reset and enable",
+    "Write a Verilog module intermediate1: an 8-bit counter with "
+    "synchronous reset rst and enable en, counting on the rising edge "
+    "of clk.",
+    """module intermediate1 (input clk, input rst, input en,
+                      output reg [7:0] count);
+  always @(posedge clk)
+    if (rst) count <= 8'd0;
+    else if (en) count <= count + 8'd1;
+endmodule
+""",
+    _tb("""  reg clk, rst, en; wire [7:0] count;
+  intermediate1 dut (.clk(clk), .rst(rst), .en(en), .count(count));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; rst = 1; en = 0;
+    #12 rst = 0; en = 1;
+    #30;
+    if (count == 8'd3) $display("PASS count3");
+    else $display("FAIL count3 got %0d", count);
+    en = 0; #20;
+    if (count == 8'd3) $display("PASS hold");
+    else $display("FAIL hold");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "intermediate2", "intermediate",
+    "a rising edge detector",
+    "Write a Verilog module intermediate2 that pulses output pulse for "
+    "one cycle when input sig rises, using clock clk.",
+    """module intermediate2 (input clk, input sig, output pulse);
+  reg last;
+  always @(posedge clk)
+    last <= sig;
+  assign pulse = sig & ~last;
+endmodule
+""",
+    _tb("""  reg clk, sig; wire pulse;
+  intermediate2 dut (.clk(clk), .sig(sig), .pulse(pulse));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; sig = 0;
+    #12;
+    sig = 1; #2;
+    if (pulse == 1) $display("PASS rise"); else $display("FAIL rise");
+    #10;
+    if (pulse == 0) $display("PASS after"); else $display("FAIL after");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "intermediate3", "intermediate",
+    "a three state fsm",
+    "Write a Verilog module intermediate3: a 3-state FSM (IDLE, RUN, "
+    "DONE) advancing IDLE->RUN on go, RUN->DONE, DONE->IDLE, with "
+    "synchronous reset.",
+    """module intermediate3 (input clk, input rst, input go,
+                      output reg [1:0] state);
+  localparam IDLE = 2'd0, RUN = 2'd1, DONE = 2'd2;
+  always @(posedge clk)
+    if (rst) state <= IDLE;
+    else case (state)
+      IDLE: if (go) state <= RUN;
+      RUN: state <= DONE;
+      DONE: state <= IDLE;
+      default: state <= IDLE;
+    endcase
+endmodule
+""",
+    _tb("""  reg clk, rst, go; wire [1:0] state;
+  intermediate3 dut (.clk(clk), .rst(rst), .go(go), .state(state));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; rst = 1; go = 0;
+    #12 rst = 0;
+    if (state == 2'd0) $display("PASS idle"); else $display("FAIL idle");
+    go = 1; #10; go = 0;
+    if (state == 2'd1) $display("PASS run"); else $display("FAIL run");
+    #10;
+    if (state == 2'd2) $display("PASS done"); else $display("FAIL done");
+    #10;
+    if (state == 2'd0) $display("PASS wrap"); else $display("FAIL wrap");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "intermediate4", "intermediate",
+    "an 8 bit left shift register",
+    "Write a Verilog module intermediate4: an 8-bit shift register that "
+    "shifts in serial input d at the LSB on each rising clock edge.",
+    """module intermediate4 (input clk, input d, output reg [7:0] q);
+  always @(posedge clk)
+    q <= {q[6:0], d};
+endmodule
+""",
+    _tb("""  reg clk, d; wire [7:0] q;
+  intermediate4 dut (.clk(clk), .d(d), .q(q));
+  initial begin
+    clk = 0; d = 1;
+    dut.q = 8'd0;
+    repeat (3) begin #2 clk = 1; #2 clk = 0; end
+    if (q == 8'b0000_0111) $display("PASS shift");
+    else $display("FAIL shift got %b", q);
+    d = 0;
+    repeat (1) begin #2 clk = 1; #2 clk = 0; end
+    if (q == 8'b0000_1110) $display("PASS shift0");
+    else $display("FAIL shift0 got %b", q);
+    $finish;
+  end""")))
+
+_add(_problem(
+    "intermediate5", "intermediate",
+    "a 4 bit gray code counter",
+    "Write a Verilog module intermediate5: a 4-bit Gray-code counter "
+    "with synchronous reset, output code.",
+    """module intermediate5 (input clk, input rst, output [3:0] code);
+  reg [3:0] bin;
+  always @(posedge clk)
+    if (rst) bin <= 4'd0;
+    else bin <= bin + 4'd1;
+  assign code = bin ^ (bin >> 1);
+endmodule
+""",
+    _tb("""  reg clk, rst; wire [3:0] code;
+  intermediate5 dut (.clk(clk), .rst(rst), .code(code));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; rst = 1;
+    #12 rst = 0;
+    #10;
+    if (code == 4'b0001) $display("PASS g1"); else $display("FAIL g1");
+    #10;
+    if (code == 4'b0011) $display("PASS g2"); else $display("FAIL g2");
+    #10;
+    if (code == 4'b0010) $display("PASS g3"); else $display("FAIL g3");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "intermediate6", "intermediate",
+    "a pwm generator",
+    "Write a Verilog module intermediate6: a 4-bit PWM generator whose "
+    "output is high while the free-running counter is below duty.",
+    """module intermediate6 (input clk, input rst, input [3:0] duty,
+                      output out);
+  reg [3:0] cnt;
+  always @(posedge clk)
+    if (rst) cnt <= 4'd0;
+    else cnt <= cnt + 4'd1;
+  assign out = cnt < duty;
+endmodule
+""",
+    _tb("""  reg clk, rst; reg [3:0] duty; wire out;
+  intermediate6 dut (.clk(clk), .rst(rst), .duty(duty), .out(out));
+  always #5 clk = ~clk;
+  integer high;
+  integer i;
+  initial begin
+    clk = 0; rst = 1; duty = 4'd4; high = 0;
+    #12 rst = 0;
+    for (i = 0; i < 16; i = i + 1) begin
+      #10;
+      if (out) high = high + 1;
+    end
+    if (high == 4) $display("PASS duty"); else
+      $display("FAIL duty got %0d", high);
+    duty = 4'd0; high = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      #10;
+      if (out) high = high + 1;
+    end
+    if (high == 0) $display("PASS zero"); else
+      $display("FAIL zero got %0d", high);
+    duty = 4'd15; high = 0;
+    for (i = 0; i < 16; i = i + 1) begin
+      #10;
+      if (out) high = high + 1;
+    end
+    if (high == 15) $display("PASS wide"); else
+      $display("FAIL wide got %0d", high);
+    rst = 1; #10; rst = 0; duty = 4'd1;
+    #2;
+    if (out) $display("PASS phase0"); else $display("FAIL phase0");
+    #10;
+    if (!out) $display("PASS phase1"); else $display("FAIL phase1");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "intermediate7", "intermediate",
+    "an 8 bit comparator",
+    "Write a Verilog module intermediate7 comparing 8-bit a and b with "
+    "outputs eq, lt, gt.",
+    """module intermediate7 (input [7:0] a, input [7:0] b,
+                      output eq, output lt, output gt);
+  assign eq = a == b;
+  assign lt = a < b;
+  assign gt = a > b;
+endmodule
+""",
+    _tb("""  reg [7:0] a, b; wire eq, lt, gt;
+  intermediate7 dut (.a(a), .b(b), .eq(eq), .lt(lt), .gt(gt));
+  initial begin
+    a = 8'd5; b = 8'd5; #1;
+    if (eq && !lt && !gt) $display("PASS eq"); else $display("FAIL eq");
+    a = 8'd3; b = 8'd9; #1;
+    if (!eq && lt && !gt) $display("PASS lt"); else $display("FAIL lt");
+    a = 8'd200; b = 8'd9; #1;
+    if (!eq && !lt && gt) $display("PASS gt"); else $display("FAIL gt");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "intermediate8", "intermediate",
+    "a 4 bit alu",
+    "Write a Verilog module intermediate8: a 4-bit ALU with operations "
+    "add, subtract, and, or selected by 2-bit op.",
+    """module intermediate8 (input [3:0] a, input [3:0] b, input [1:0] op,
+                      output reg [3:0] y);
+  always @(*)
+    case (op)
+      2'b00: y = a + b;
+      2'b01: y = a - b;
+      2'b10: y = a & b;
+      default: y = a | b;
+    endcase
+endmodule
+""",
+    _tb("""  reg [3:0] a, b; reg [1:0] op; wire [3:0] y;
+  intermediate8 dut (.a(a), .b(b), .op(op), .y(y));
+  initial begin
+    a = 4'd9; b = 4'd3;
+    op = 2'b00; #1;
+    if (y == 4'd12) $display("PASS add"); else $display("FAIL add");
+    op = 2'b01; #1;
+    if (y == 4'd6) $display("PASS sub"); else $display("FAIL sub");
+    op = 2'b10; #1;
+    if (y == (4'd9 & 4'd3)) $display("PASS and"); else
+      $display("FAIL and");
+    op = 2'b11; #1;
+    if (y == (4'd9 | 4'd3)) $display("PASS or"); else
+      $display("FAIL or");
+    $finish;
+  end""")))
+
+# -- advanced ----------------------------------------------------------
+
+_add(_problem(
+    "advanced1", "advanced",
+    "a 3 bit lfsr",
+    "Write a Verilog module advanced1: a 3-bit LFSR with taps on bits 2 "
+    "and 1, synchronous load of seed when load is high.",
+    """module advanced1 (input clk, input load, input [2:0] seed,
+                  output reg [2:0] lfsr);
+  always @(posedge clk)
+    if (load) lfsr <= seed;
+    else lfsr <= {lfsr[1:0], lfsr[2] ^ lfsr[1]};
+endmodule
+""",
+    _tb("""  reg clk, load; reg [2:0] seed; wire [2:0] lfsr;
+  advanced1 dut (.clk(clk), .load(load), .seed(seed), .lfsr(lfsr));
+  initial begin
+    clk = 0; load = 1; seed = 3'b101;
+    #2 clk = 1; #2 clk = 0;
+    if (lfsr == 3'b101) $display("PASS load"); else $display("FAIL load");
+    load = 0;
+    #2 clk = 1; #2 clk = 0;
+    if (lfsr == 3'b011) $display("PASS step1");
+    else $display("FAIL step1 got %b", lfsr);
+    #2 clk = 1; #2 clk = 0;
+    if (lfsr == 3'b111) $display("PASS step2");
+    else $display("FAIL step2 got %b", lfsr);
+    $finish;
+  end""")))
+
+_add(_problem(
+    "advanced2", "advanced",
+    "a 4 entry fifo",
+    "Write a Verilog module advanced2: a 4-entry 8-bit FIFO with push, "
+    "pop, empty and full flags, synchronous reset.",
+    """module advanced2 (input clk, input rst, input push, input pop,
+                  input [7:0] din, output [7:0] dout,
+                  output empty, output full);
+  reg [7:0] mem [0:3];
+  reg [2:0] count;
+  reg [1:0] rptr, wptr;
+  assign empty = count == 0;
+  assign full = count == 4;
+  assign dout = mem[rptr];
+  always @(posedge clk)
+    if (rst) begin
+      count <= 0; rptr <= 0; wptr <= 0;
+    end else begin
+      if (push && !full) begin
+        mem[wptr] <= din;
+        wptr <= wptr + 1;
+        if (!(pop && !empty)) count <= count + 1;
+      end
+      if (pop && !empty) begin
+        rptr <= rptr + 1;
+        if (!(push && !full)) count <= count - 1;
+      end
+    end
+endmodule
+""",
+    _tb("""  reg clk, rst, push, pop; reg [7:0] din;
+  wire [7:0] dout; wire empty, full;
+  advanced2 dut (.clk(clk), .rst(rst), .push(push), .pop(pop),
+                 .din(din), .dout(dout), .empty(empty), .full(full));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; rst = 1; push = 0; pop = 0; din = 0;
+    #12 rst = 0;
+    if (empty) $display("PASS empty"); else $display("FAIL empty");
+    push = 1; din = 8'hAA; #10; din = 8'hBB; #10;
+    push = 0; #10;
+    if (!empty) $display("PASS notempty"); else $display("FAIL notempty");
+    if (dout == 8'hAA) $display("PASS head"); else $display("FAIL head");
+    pop = 1; #10; pop = 0; #10;
+    if (dout == 8'hBB) $display("PASS next"); else $display("FAIL next");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "advanced3", "advanced",
+    "a traffic light controller",
+    "Write a Verilog module advanced3: a traffic light FSM cycling "
+    "green(2 cycles) -> yellow(1) -> red(2) with one-hot outputs.",
+    """module advanced3 (input clk, input rst, output reg green,
+                  output reg yellow, output reg red);
+  reg [2:0] t;
+  always @(posedge clk)
+    if (rst) t <= 3'd0;
+    else if (t == 3'd4) t <= 3'd0;
+    else t <= t + 3'd1;
+  always @(*) begin
+    green = t < 3'd2;
+    yellow = t == 3'd2;
+    red = t > 3'd2;
+  end
+endmodule
+""",
+    _tb("""  reg clk, rst; wire green, yellow, red;
+  advanced3 dut (.clk(clk), .rst(rst), .green(green), .yellow(yellow),
+                 .red(red));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0; rst = 1;
+    #12 rst = 0;
+    if (green && !yellow && !red) $display("PASS g0");
+    else $display("FAIL g0");
+    #20;
+    if (yellow) $display("PASS y"); else $display("FAIL y");
+    #10;
+    if (red) $display("PASS r"); else $display("FAIL r");
+    #20;
+    if (green) $display("PASS wrap"); else $display("FAIL wrap");
+    $finish;
+  end""")))
+
+_add(_problem(
+    "advanced4", "advanced",
+    "a clock divider by 3",
+    "Write a Verilog module advanced4 dividing the input clock by 3 "
+    "(output high one of every three cycles) with synchronous reset.",
+    """module advanced4 (input clk, input rst, output out);
+  reg [1:0] cnt;
+  always @(posedge clk)
+    if (rst) cnt <= 2'd0;
+    else if (cnt == 2'd2) cnt <= 2'd0;
+    else cnt <= cnt + 2'd1;
+  assign out = cnt == 2'd2;
+endmodule
+""",
+    _tb("""  reg clk, rst; wire out;
+  advanced4 dut (.clk(clk), .rst(rst), .out(out));
+  always #5 clk = ~clk;
+  integer highs; integer i;
+  initial begin
+    clk = 0; rst = 1; highs = 0;
+    #12 rst = 0;
+    for (i = 0; i < 9; i = i + 1) begin
+      #10;
+      if (out) highs = highs + 1;
+    end
+    if (highs == 3) $display("PASS div3");
+    else $display("FAIL div3 got %0d", highs);
+    $finish;
+  end""")))
+
+_add(_problem(
+    "advanced5", "advanced",
+    "a serial to parallel converter",
+    "Write a Verilog module advanced5: collect 8 serial bits (MSB "
+    "first) into dout and pulse valid when a byte completes.",
+    """module advanced5 (input clk, input rst, input din,
+                  output reg [7:0] dout, output reg valid);
+  reg [2:0] cnt;
+  always @(posedge clk)
+    if (rst) begin
+      cnt <= 3'd0;
+      valid <= 1'b0;
+      dout <= 8'd0;
+    end else begin
+      dout <= {dout[6:0], din};
+      if (cnt == 3'd7) begin
+        cnt <= 3'd0;
+        valid <= 1'b1;
+      end else begin
+        cnt <= cnt + 3'd1;
+        valid <= 1'b0;
+      end
+    end
+endmodule
+""",
+    _tb("""  reg clk, rst, din; wire [7:0] dout; wire valid;
+  advanced5 dut (.clk(clk), .rst(rst), .din(din), .dout(dout),
+                 .valid(valid));
+  always #5 clk = ~clk;
+  reg [7:0] pattern; integer i;
+  initial begin
+    clk = 0; rst = 1; din = 0; pattern = 8'hA7;
+    #12 rst = 0;
+    for (i = 7; i >= 0; i = i - 1) begin
+      din = pattern[i];
+      #10;
+      if (i == 4 && valid) $display("FAIL early valid");
+    end
+    if (valid) $display("PASS valid"); else $display("FAIL valid");
+    if (dout == pattern) $display("PASS data");
+    else $display("FAIL data got %h", dout);
+    pattern = 8'h39;
+    for (i = 7; i >= 0; i = i - 1) begin
+      din = pattern[i];
+      #10;
+      if (i == 7 && valid) $display("FAIL still valid");
+    end
+    if (valid && dout == pattern) $display("PASS byte2");
+    else $display("FAIL byte2");
+    $finish;
+  end""")))
+
+
+@lru_cache(maxsize=1)
+def thakur_suite() -> tuple[Problem, ...]:
+    """The 17 problems with per-tier evenly spaced difficulties."""
+    by_tier: dict[str, list[Problem]] = {}
+    for problem in _RAW:
+        by_tier.setdefault(problem.tier, []).append(problem)
+    final: dict[str, Problem] = {}
+    for tier, tier_problems in by_tier.items():
+        for problem, difficulty in zip(tier_problems,
+                                       spaced_difficulties(
+                                           len(tier_problems))):
+            final[problem.name] = Problem(
+                name=problem.name, suite=problem.suite, tier=problem.tier,
+                difficulty=difficulty, prompts=problem.prompts,
+                reference=problem.reference, testbench=problem.testbench)
+    return tuple(final[p.name] for p in _RAW)

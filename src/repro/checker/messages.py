@@ -1,0 +1,59 @@
+"""Diagnostic records with yosys-compatible text rendering.
+
+The repair-data generator (paper Sec. 3.2.2, Fig. 6) pairs the *first* error
+line with the broken file, e.g.::
+
+    ./111_3-bit LFSR.v:7: ERROR: syntax error, unexpected ']'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR = "ERROR"
+WARNING = "WARNING"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One checker finding."""
+
+    severity: str
+    message: str
+    line: int = 0
+    filename: str = "<input>"
+
+    def formatted(self) -> str:
+        return f"{self.filename}:{self.line}: {self.severity}: {self.message}"
+
+
+@dataclass
+class CheckResult:
+    """All findings for one source file."""
+
+    filename: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def first_error(self) -> str | None:
+        """The yosys-style feedback line the repair dataset embeds."""
+        for diag in self.diagnostics:
+            if diag.severity == ERROR:
+                return diag.formatted()
+        return None
+
+    def report(self) -> str:
+        if not self.diagnostics:
+            return f"{self.filename}: OK"
+        return "\n".join(d.formatted() for d in self.diagnostics)

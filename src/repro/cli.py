@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the tool chain a user drives interactively:
+
+* ``describe``  — AST → natural language for a Verilog file (Fig 5)
+* ``check``     — yosys-style lint
+* ``simulate``  — run a (testbench-containing) file, optional VCD out
+* ``synth``     — gate-level synthesis report
+* ``flow``      — full RTL-to-GDS flow + PPA report
+* ``augment``   — run the augmentation pipeline over Verilog files
+* ``agent``     — run the Fig-1 agent loop on a named benchmark problem
+* ``tables``    — regenerate the paper's tables/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    from .nl import describe_source
+    print(describe_source(_read(args.file)).annotated())
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .checker import check_source
+    result = check_source(_read(args.file), args.file)
+    print(result.report())
+    return 0 if result.ok else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim import run_simulation
+    result = run_simulation(_read(args.file), top=args.top,
+                            trace=args.vcd is not None)
+    if not result.ok:
+        print(result.error, file=sys.stderr)
+        return 1
+    print(result.output)
+    print(f"-- finished={result.finished} time={result.time}")
+    if args.vcd and result.vcd:
+        with open(args.vcd, "w", encoding="utf-8") as handle:
+            handle.write(result.vcd)
+        print(f"-- wrote {args.vcd}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from .eda import SynthesisError, synthesize
+    try:
+        result = synthesize(_read(args.file), top=args.top)
+    except SynthesisError as exc:
+        print(f"synthesis failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"module:        {result.netlist.module}")
+    print(f"cells:         {result.num_cells}")
+    for kind, count in sorted(result.cell_counts.items()):
+        print(f"  {kind:<8} {count}")
+    print(f"area:          {result.area_um2:.1f} um^2")
+    print(f"critical path: {result.critical_path_ns:.3f} ns "
+          f"(fmax {result.fmax_mhz:.1f} MHz)")
+    if args.netlist:
+        from .eda.netlist_writer import netlist_to_verilog
+        with open(args.netlist, "w", encoding="utf-8") as handle:
+            handle.write(netlist_to_verilog(result.netlist))
+        print(f"-- wrote {args.netlist}")
+    return 0
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    from .eda import Flow, FlowConstraints
+    constraints = FlowConstraints(clock_period_ns=args.clock)
+    result = Flow().run(_read(args.file), args.top, constraints)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_augment(args: argparse.Namespace) -> int:
+    from .core import AugmentationPipeline, PipelineConfig, dataset_stats, render_table2
+    config = PipelineConfig(seed=args.seed)
+    if args.completion_only:
+        config = PipelineConfig.completion_only()
+    corpus = [_read(path) for path in args.files]
+    report = AugmentationPipeline(config).run(corpus)
+    print(render_table2(dataset_stats(report.dataset)))
+    if args.out:
+        report.dataset.save(args.out)
+        print(f"-- wrote {len(report.dataset)} records to {args.out}")
+    return 0
+
+
+def cmd_agent(args: argparse.Namespace) -> int:
+    from .agent import ChipAgent
+    from .bench import rtllm_suite, thakur_suite
+    problems = {p.name: p for p in list(thakur_suite())
+                + list(rtllm_suite())}
+    if args.problem not in problems:
+        print(f"unknown problem '{args.problem}'; choose from: "
+              f"{', '.join(sorted(problems))}", file=sys.stderr)
+        return 2
+    agent = ChipAgent(args.model, run_flow=args.gds)
+    result = agent.build(problems[args.problem])
+    print(result.transcript)
+    print(f"-- {'PASSED' if result.passed else 'FAILED'} in "
+          f"{result.rounds} round(s)")
+    return 0 if result.passed else 1
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+    results = run_all(quick=not args.full)
+    wanted = args.only.split(",") if args.only else list(results)
+    for name in wanted:
+        print(f"\n{'=' * 72}\n{name.upper()}\n{'=' * 72}")
+        print(results[name])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ChipGPT-FT reproduction tool chain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="Verilog → natural language")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_describe)
+
+    p = sub.add_parser("check", help="yosys-style lint")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("simulate", help="run a testbench")
+    p.add_argument("file")
+    p.add_argument("--top")
+    p.add_argument("--vcd", help="write VCD waveform to this path")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("synth", help="gate-level synthesis report")
+    p.add_argument("file")
+    p.add_argument("--top")
+    p.add_argument("--netlist", help="write structural Verilog netlist")
+    p.set_defaults(fn=cmd_synth)
+
+    p = sub.add_parser("flow", help="RTL-to-GDS flow + PPA")
+    p.add_argument("file")
+    p.add_argument("--top")
+    p.add_argument("--clock", type=float, default=10.0,
+                   help="clock period in ns")
+    p.set_defaults(fn=cmd_flow)
+
+    p = sub.add_parser("augment", help="run the augmentation pipeline")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--out", help="write records as JSONL")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--completion-only", action="store_true",
+                   help="ablation baseline (general aug)")
+    p.set_defaults(fn=cmd_augment)
+
+    p = sub.add_parser("agent", help="Fig-1 agent loop on a benchmark")
+    p.add_argument("problem")
+    p.add_argument("--model", default="ours-13b")
+    p.add_argument("--gds", action="store_true",
+                   help="run the flow on the surviving design")
+    p.set_defaults(fn=cmd_agent)
+
+    p = sub.add_parser("tables", help="regenerate paper tables/figures")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--only", help="comma-separated ids, e.g. table5,fig3")
+    p.set_defaults(fn=cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the design-data augmentation framework.
+
+Stages (paper Fig. 4):
+
+* :mod:`completion`  — multi-level Verilog completion (Sec. 3.1.1)
+* :mod:`alignment`   — program-analysis NL alignment (Sec. 3.1.2)
+* :mod:`mutation`    — rule-based error injection (Sec. 3.2.1)
+* :mod:`repair`      — repair pairs incl. EDA feedback (Sec. 3.2.2)
+* :mod:`script_aug`  — EDA-script description pairs (Sec. 3.3)
+* :mod:`pipeline`    — the end-to-end framework
+* :mod:`stats`       — Table-2 dataset accounting
+"""
+
+from .alignment import alignment_records, translatable_structures
+from .completion import (completion_records, module_level, segment_count,
+                         statement_level, token_level)
+from .mutation import (MUTATION_RULES, AppliedMutation, MutationResult,
+                       Mutator, mutate)
+from .pipeline import AugmentationPipeline, PipelineConfig, PipelineReport
+from .records import INSTRUCTIONS, Dataset, Record, Task, make_record
+from .repair import (feedback_repair_records, make_broken_variant,
+                     repair_records)
+from .script_aug import script_records
+from .stats import (PAPER_TABLE2, TABLE2_ORDER, TaskStats, dataset_stats,
+                    format_size, render_table2)
+
+__all__ = [
+    "Task", "Record", "Dataset", "make_record", "INSTRUCTIONS",
+    "completion_records", "module_level", "statement_level", "token_level",
+    "segment_count", "alignment_records", "translatable_structures",
+    "Mutator", "mutate", "MutationResult", "AppliedMutation",
+    "MUTATION_RULES", "repair_records", "feedback_repair_records",
+    "make_broken_variant", "script_records",
+    "AugmentationPipeline", "PipelineConfig", "PipelineReport",
+    "dataset_stats", "render_table2", "format_size", "TaskStats",
+    "PAPER_TABLE2", "TABLE2_ORDER",
+]

@@ -1,0 +1,56 @@
+"""Natural-language ↔ Verilog alignment augmentation (paper Sec. 3.1.2).
+
+For every parseable module the framework emits::
+
+    { "instruct": "give me the Verilog module of this description. ",
+      "input":  "<natural language from the program-analysis rules>",
+      "output": "<Verilog file>" }
+
+Additionally, per-construct *partial* descriptions are emitted (one per
+translatable syntax structure), matching the paper's observation that a
+file with *k* translatable structures grows the dataset at O(k).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..nl import describe_module
+from ..verilog import VerilogError, parse
+from .records import Record, Task, make_record
+
+
+def alignment_records(text: str,
+                      include_partial: bool = True) -> Iterator[Record]:
+    """Aligned (description, Verilog) pairs for every module in ``text``."""
+    try:
+        source = parse(text)
+    except VerilogError:
+        return
+    for module in source.modules:
+        description = describe_module(module)
+        if not description.lines:
+            continue
+        yield make_record(Task.NL_VERILOG, description.text, text.strip(),
+                          module=module.name, kind="full")
+        if not include_partial:
+            continue
+        # O(k) growth: one extra record per translatable structure, using
+        # the structure's sentence as a focused description.
+        if len(description.lines) > 1:
+            for line in description.lines:
+                yield make_record(
+                    Task.NL_VERILOG,
+                    f"{description.lines[0].text} {line.text}",
+                    text.strip(),
+                    module=module.name, kind="partial", rule=line.rule)
+
+
+def translatable_structures(text: str) -> int:
+    """Number *k* of syntax structures the rule set translates."""
+    try:
+        source = parse(text)
+    except VerilogError:
+        return 0
+    return sum(len(describe_module(module).lines)
+               for module in source.modules)

@@ -1,0 +1,108 @@
+"""The full design-data augmentation pipeline (paper Fig. 4).
+
+``AugmentationPipeline`` wires every stage together:
+
+1. multi-level completion (Sec. 3.1.1),
+2. program-analysis NL alignment (Sec. 3.1.2),
+3. rule-based mutation → repair pairs (Sec. 3.2.1),
+4. checker-feedback repair pairs (Sec. 3.2.2),
+5. EDA-script description pairs (Sec. 3.3),
+
+then trims over-length records (Sec. 4 "Implementation").  Every stage can
+be disabled individually, which is how the ablation experiments (Fig. 7 /
+Table 5 "General Aug") build their completion-only datasets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from .alignment import alignment_records
+from .completion import completion_records
+from .records import Dataset, Task
+from .repair import feedback_repair_records, repair_records
+from .script_aug import Describer, script_records
+
+
+@dataclass
+class PipelineConfig:
+    """Stage toggles and per-stage knobs."""
+
+    completion: bool = True
+    alignment: bool = True
+    repair: bool = True
+    repair_feedback: bool = True
+    eda_scripts: bool = True
+    include_partial_alignment: bool = True
+    repair_variants: int = 3
+    max_mutations: int = 5
+    statement_cap: int | None = 64
+    token_cap: int | None = 256
+    max_tokens: int = 1800          # trimming budget ≈ Llama-2 context
+    seed: int = 0
+
+    @staticmethod
+    def completion_only() -> "PipelineConfig":
+        """The paper's "general data generation" ablation baseline."""
+        return PipelineConfig(alignment=False, repair=False,
+                              repair_feedback=False, eda_scripts=False)
+
+    @staticmethod
+    def nl_only() -> "PipelineConfig":
+        """Fig. 7 ablation: only natural-language-aligned data."""
+        return PipelineConfig(completion=False, repair=False,
+                              repair_feedback=False, eda_scripts=False)
+
+
+@dataclass
+class PipelineReport:
+    """What the pipeline produced (before/after trimming)."""
+
+    dataset: Dataset
+    raw_count: int = 0
+    trimmed_count: int = 0
+    per_task: dict[Task, int] = field(default_factory=dict)
+
+
+class AugmentationPipeline:
+    """Run the full framework over a corpus of Verilog files."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+
+    def run(self, verilog_files: Iterable[str],
+            eda_scripts: Iterable[str] = (),
+            describer: Describer | None = None) -> PipelineReport:
+        config = self.config
+        dataset = Dataset()
+        for position, text in enumerate(verilog_files):
+            file_seed = config.seed * 1_000_003 + position
+            if config.completion:
+                dataset.extend(completion_records(
+                    text, statement_cap=config.statement_cap,
+                    token_cap=config.token_cap))
+            if config.alignment:
+                dataset.extend(alignment_records(
+                    text,
+                    include_partial=config.include_partial_alignment))
+            if config.repair:
+                dataset.extend(repair_records(
+                    text, seed=file_seed,
+                    variants=config.repair_variants,
+                    max_mutations=config.max_mutations))
+            if config.repair_feedback:
+                dataset.extend(feedback_repair_records(
+                    text, seed=file_seed + 7,
+                    variants=config.repair_variants,
+                    max_mutations=config.max_mutations))
+        if config.eda_scripts and eda_scripts:
+            if describer is None:
+                from .script_aug import default_describer
+                describer = default_describer()
+            dataset.extend(script_records(eda_scripts, describer))
+        raw_count = len(dataset)
+        trimmed = dataset.trimmed(config.max_tokens)
+        return PipelineReport(dataset=trimmed, raw_count=raw_count,
+                              trimmed_count=raw_count - len(trimmed),
+                              per_task=trimmed.task_counts())

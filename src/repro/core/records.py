@@ -1,0 +1,145 @@
+"""Instruction-tuning records and dataset containers.
+
+The paper's framework emits records with exactly three fields
+(Sec. 3): an ``instruct`` field distinguishing the task, an ``input``
+field with the prompt/context, and an ``output`` field with the expected
+result.  ``Task`` enumerates the seven dataset rows of Table 2.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Task(Enum):
+    """Dataset categories (one per row of the paper's Table 2)."""
+
+    NL_VERILOG = "nl_verilog_generation"
+    MASK_COMPLETION = "verilog_mask_completion"
+    DEBUG = "verilog_debug"
+    WORD_COMPLETION = "verilog_word_level_completion"
+    MODULE_COMPLETION = "verilog_module_level_completion"
+    STATEMENT_COMPLETION = "verilog_statement_level_completion"
+    EDA_SCRIPT = "nl_eda_script_generation"
+
+    @property
+    def table2_label(self) -> str:
+        return _TABLE2_LABELS[self]
+
+
+_TABLE2_LABELS = {
+    Task.NL_VERILOG: "Natural Language Verilog Generation",
+    Task.MASK_COMPLETION: "Verilog Mask Completion",
+    Task.DEBUG: "Verilog Debug",
+    Task.WORD_COMPLETION: "Verilog Word-Level Completion",
+    Task.MODULE_COMPLETION: "Verilog Module-Level Completion",
+    Task.STATEMENT_COMPLETION: "Verilog Statement-Level Completion",
+    Task.EDA_SCRIPT: "Natural Language EDA Script Generation",
+}
+
+#: Instruction strings exactly as printed in the paper.
+INSTRUCTIONS = {
+    Task.NL_VERILOG: "give me the Verilog module of this description. ",
+    Task.MASK_COMPLETION: "complete the masked tokens of this Verilog "
+                          "file. ",
+    Task.DEBUG: "give me correct Verilog according to the given wrong "
+                "Verilog. ",
+    Task.WORD_COMPLETION: "complete the next token of Verilog file. ",
+    Task.MODULE_COMPLETION: "complete the next module of Verilog file. ",
+    Task.STATEMENT_COMPLETION: "complete the next statement of Verilog "
+                               "file. ",
+    Task.EDA_SCRIPT: "give me SiliconCompiler script. ",
+}
+
+
+@dataclass(frozen=True)
+class Record:
+    """One training example in the paper's three-field format."""
+
+    task: Task
+    instruct: str
+    input: str
+    output: str
+    meta: tuple[tuple[str, str], ...] = ()
+
+    def to_json(self) -> str:
+        return json.dumps({"instruct": self.instruct, "input": self.input,
+                           "output": self.output}, ensure_ascii=False)
+
+    @property
+    def approx_tokens(self) -> int:
+        """Whitespace-token count used for max-length trimming."""
+        return (len(self.instruct.split()) + len(self.input.split())
+                + len(self.output.split()))
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.to_json().encode())
+
+
+def make_record(task: Task, input_text: str, output_text: str,
+                **meta: str) -> Record:
+    """Build a record with the paper's canonical instruction string."""
+    return Record(task=task, instruct=INSTRUCTIONS[task], input=input_text,
+                  output=output_text,
+                  meta=tuple(sorted(meta.items())))
+
+
+@dataclass
+class Dataset:
+    """A collection of records with per-task accounting."""
+
+    records: list[Record] = field(default_factory=list)
+
+    def add(self, record: Record) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[Record]) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def by_task(self, task: Task) -> list[Record]:
+        return [r for r in self.records if r.task is task]
+
+    def task_counts(self) -> dict[Task, int]:
+        counts: dict[Task, int] = {}
+        for record in self.records:
+            counts[record.task] = counts.get(record.task, 0) + 1
+        return counts
+
+    def trimmed(self, max_tokens: int) -> "Dataset":
+        """Drop records above the token budget (paper Sec. 4, Implementation:
+        "We trim the data that exceeds the maximum token length")."""
+        return Dataset(records=[r for r in self.records
+                                if r.approx_tokens <= max_tokens])
+
+    def to_jsonl(self) -> str:
+        return "\n".join(record.to_json() for record in self.records)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            if self.records:
+                handle.write("\n")
+
+    @staticmethod
+    def load(path: str, task: Task) -> "Dataset":
+        dataset = Dataset()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                blob = json.loads(line)
+                dataset.add(Record(task=task, instruct=blob["instruct"],
+                                   input=blob["input"],
+                                   output=blob["output"]))
+        return dataset

@@ -1,0 +1,62 @@
+"""Verilog repair-pair generation (paper Sec. 3.2).
+
+Two flavours, matching Table 2's ``Verilog Mask Completion`` and ``Verilog
+Debug`` rows:
+
+* **mask/repair pairs** — (wrong Verilog → right Verilog) produced by the
+  rule-based mutation engine;
+* **EDA-feedback pairs** — the mutated file is run through the yosys-style
+  checker; the first error line is prepended to the input, exactly like
+  the paper's Fig. 6 example.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..checker import check_source
+from .mutation import MutationResult, Mutator
+from .records import Record, Task, make_record
+
+
+def repair_records(text: str, seed: int = 0, variants: int = 3,
+                   max_mutations: int = 5) -> Iterator[Record]:
+    """(wrong → right) pairs, ``variants`` mutated copies per file."""
+    mutator = Mutator(seed=seed, max_mutations=max_mutations)
+    for _ in range(variants):
+        result = mutator.mutate(text)
+        if not result.changed:
+            continue
+        yield make_record(Task.MASK_COMPLETION, result.mutated.strip(),
+                          text.strip(),
+                          rules=",".join(m.rule for m in result.applied))
+
+
+def feedback_repair_records(text: str, seed: int = 0, variants: int = 3,
+                            filename: str = "./design.v",
+                            max_mutations: int = 5) -> Iterator[Record]:
+    """(yosys feedback + wrong → right) pairs (paper Sec. 3.2.2, Fig. 6).
+
+    Only mutants the checker actually rejects are kept: the feedback line
+    is real tool output, not synthetic.
+    """
+    mutator = Mutator(seed=seed, max_mutations=max_mutations)
+    for _ in range(variants):
+        result = mutator.mutate(text)
+        if not result.changed:
+            continue
+        feedback = check_source(result.mutated, filename).first_error()
+        if feedback is None:
+            # Semantically silent mutation: still useful as a plain
+            # repair pair but not as a feedback pair.
+            continue
+        yield make_record(Task.DEBUG,
+                          f"{feedback},\n{result.mutated.strip()}",
+                          text.strip(),
+                          rules=",".join(m.rule for m in result.applied))
+
+
+def make_broken_variant(text: str, seed: int = 0,
+                        count: int | None = None) -> MutationResult:
+    """One mutated copy of ``text`` (used by benchmarks and examples)."""
+    return Mutator(seed=seed).mutate(text, count=count)

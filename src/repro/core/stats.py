@@ -1,0 +1,77 @@
+"""Dataset-scale accounting (paper Table 2).
+
+``DatasetStats`` aggregates record counts and serialized sizes per task and
+renders the same rows Table 2 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .records import Dataset, Task
+
+#: Paper's Table 2, for side-by-side reporting: (size, count).
+PAPER_TABLE2 = {
+    Task.NL_VERILOG: ("1784.24MB", 124_000),
+    Task.MASK_COMPLETION: ("2145.29MB", 107_000),
+    Task.DEBUG: ("523.77MB", 240_000),
+    Task.WORD_COMPLETION: ("21GB", 3_700_000),
+    Task.MODULE_COMPLETION: ("693MB", 400_000),
+    Task.STATEMENT_COMPLETION: ("2.9GB", 2_388_000),
+    Task.EDA_SCRIPT: ("301KB", 200),
+}
+
+#: Row order as printed in the paper.
+TABLE2_ORDER = (
+    Task.NL_VERILOG, Task.MASK_COMPLETION, Task.DEBUG,
+    Task.WORD_COMPLETION, Task.MODULE_COMPLETION,
+    Task.STATEMENT_COMPLETION, Task.EDA_SCRIPT,
+)
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    task: Task
+    count: int
+    size_bytes: int
+
+    @property
+    def size_human(self) -> str:
+        return format_size(self.size_bytes)
+
+
+def format_size(size_bytes: int) -> str:
+    """Render like the paper: KB / MB / GB with two decimals."""
+    if size_bytes >= 1 << 30:
+        return f"{size_bytes / (1 << 30):.2f}GB"
+    if size_bytes >= 1 << 20:
+        return f"{size_bytes / (1 << 20):.2f}MB"
+    return f"{size_bytes / (1 << 10):.2f}KB"
+
+
+def dataset_stats(dataset: Dataset) -> list[TaskStats]:
+    """Per-task statistics in Table 2 row order."""
+    sizes: dict[Task, int] = {}
+    counts: dict[Task, int] = {}
+    for record in dataset:
+        counts[record.task] = counts.get(record.task, 0) + 1
+        sizes[record.task] = sizes.get(record.task, 0) + record.size_bytes
+    return [TaskStats(task=task, count=counts.get(task, 0),
+                      size_bytes=sizes.get(task, 0))
+            for task in TABLE2_ORDER]
+
+
+def render_table2(stats: list[TaskStats],
+                  scale_note: str | None = None) -> str:
+    """Text rendering of Table 2 with paper numbers alongside."""
+    header = (f"{'Task':<42} {'Output Size':>12} {'Output Number':>14} "
+              f"{'Paper Size':>12} {'Paper Number':>13}")
+    lines = [header, "-" * len(header)]
+    for entry in stats:
+        paper_size, paper_count = PAPER_TABLE2[entry.task]
+        lines.append(
+            f"{entry.task.table2_label:<42} {entry.size_human:>12} "
+            f"{entry.count:>14,} {paper_size:>12} {paper_count:>13,}")
+    if scale_note:
+        lines.append(f"note: {scale_note}")
+    return "\n".join(lines)

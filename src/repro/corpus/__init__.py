@@ -1,0 +1,12 @@
+"""Synthetic data sources: Verilog corpus generator + Fig. 2 statistics."""
+
+from .generator import family_names, generate_corpus, generate_design
+from .github_stats import (COUNTS, HARDWARE_LANGUAGES, LANGUAGES,
+                           hardware_is_scarcer_everywhere, render_fig2,
+                           scarcity_ratio)
+
+__all__ = [
+    "generate_corpus", "generate_design", "family_names",
+    "LANGUAGES", "HARDWARE_LANGUAGES", "COUNTS",
+    "scarcity_ratio", "hardware_is_scarcer_everywhere", "render_fig2",
+]

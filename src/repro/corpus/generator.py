@@ -1,0 +1,375 @@
+"""Synthetic Verilog corpus generator (GitHub/HuggingFace stand-in).
+
+The paper's Step 1 collects Verilog from GitHub and HuggingFace.  Offline,
+we synthesise a corpus instead: a family of parameterised RTL design
+templates (counters, shift registers, muxes, ALUs, FSMs, FIFOs, …) with
+randomised widths, names and feature flags.  Every generated file parses
+with :mod:`repro.verilog` and lints clean with :mod:`repro.checker`, so the
+augmentation pipeline sees realistic, well-formed input.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+Generator = Callable[[random.Random, int], str]
+
+_FAMILIES: dict[str, Generator] = {}
+
+
+def family(name: str) -> Callable[[Generator], Generator]:
+    def register(fn: Generator) -> Generator:
+        _FAMILIES[name] = fn
+        return fn
+    return register
+
+
+def family_names() -> tuple[str, ...]:
+    return tuple(sorted(_FAMILIES))
+
+
+@family("counter")
+def _counter(rng: random.Random, idx: int) -> str:
+    width = rng.choice([2, 4, 8, 12, 16])
+    has_enable = rng.random() < 0.6
+    name = f"counter{width}_{idx}"
+    enable_port = "input en," if has_enable else ""
+    guard = "else if (en)" if has_enable else "else"
+    return f"""module {name} (
+  input clk,
+  input rst,
+  {enable_port}
+  output reg [{width - 1}:0] count
+);
+  always @(posedge clk)
+    if (rst) count <= {width}'d0;
+    {guard} count <= count + {width}'d1;
+endmodule
+"""
+
+
+@family("shift_register")
+def _shift_register(rng: random.Random, idx: int) -> str:
+    width = rng.choice([4, 8, 16])
+    direction = rng.choice(["left", "right"])
+    name = f"shift_{direction}_{width}_{idx}"
+    if direction == "left":
+        body = f"q <= {{q[{width - 2}:0], d}};"
+    else:
+        body = f"q <= {{d, q[{width - 1}:1]}};"
+    return f"""module {name} (
+  input clk,
+  input d,
+  output reg [{width - 1}:0] q
+);
+  always @(posedge clk)
+    {body}
+endmodule
+"""
+
+
+@family("mux")
+def _mux(rng: random.Random, idx: int) -> str:
+    width = rng.choice([1, 4, 8, 16])
+    ways = rng.choice([2, 4])
+    name = f"mux{ways}_{width}_{idx}"
+    if ways == 2:
+        return f"""module {name} (
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  input sel,
+  output [{width - 1}:0] y
+);
+  assign y = sel ? b : a;
+endmodule
+"""
+    return f"""module {name} (
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  input [{width - 1}:0] c,
+  input [{width - 1}:0] d,
+  input [1:0] sel,
+  output reg [{width - 1}:0] y
+);
+  always @(*)
+    case (sel)
+      2'd0: y = a;
+      2'd1: y = b;
+      2'd2: y = c;
+      default: y = d;
+    endcase
+endmodule
+"""
+
+
+@family("adder")
+def _adder(rng: random.Random, idx: int) -> str:
+    width = rng.choice([4, 8, 16, 32])
+    has_carry = rng.random() < 0.5
+    name = f"adder{width}_{idx}"
+    if has_carry:
+        return f"""module {name} (
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  input cin,
+  output [{width - 1}:0] sum,
+  output cout
+);
+  assign {{cout, sum}} = a + b + cin;
+endmodule
+"""
+    return f"""module {name} (
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  output [{width - 1}:0] sum
+);
+  assign sum = a + b;
+endmodule
+"""
+
+
+@family("alu")
+def _alu(rng: random.Random, idx: int) -> str:
+    width = rng.choice([4, 8, 16])
+    name = f"alu{width}_{idx}"
+    return f"""module {name} (
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  input [1:0] op,
+  output reg [{width - 1}:0] y
+);
+  always @(*)
+    case (op)
+      2'b00: y = a + b;
+      2'b01: y = a - b;
+      2'b10: y = a & b;
+      default: y = a | b;
+    endcase
+endmodule
+"""
+
+
+@family("fsm")
+def _fsm(rng: random.Random, idx: int) -> str:
+    name = f"fsm_{idx}"
+    return f"""module {name} (
+  input clk,
+  input rst,
+  input go,
+  output reg [1:0] state
+);
+  localparam IDLE = 2'd0, RUN = 2'd1, DONE = 2'd2;
+  always @(posedge clk)
+    if (rst) state <= IDLE;
+    else case (state)
+      IDLE: if (go) state <= RUN;
+      RUN: state <= DONE;
+      DONE: state <= IDLE;
+      default: state <= IDLE;
+    endcase
+endmodule
+"""
+
+
+@family("edge_detect")
+def _edge_detect(rng: random.Random, idx: int) -> str:
+    name = f"edge_detect_{idx}"
+    kind = rng.choice(["rise", "fall"])
+    expr = "~last & sig" if kind == "rise" else "last & ~sig"
+    return f"""module {name} (
+  input clk,
+  input sig,
+  output pulse
+);
+  reg last;
+  always @(posedge clk)
+    last <= sig;
+  assign pulse = {expr};
+endmodule
+"""
+
+
+@family("register_file")
+def _register_file(rng: random.Random, idx: int) -> str:
+    width = rng.choice([8, 16, 32])
+    depth_bits = rng.choice([2, 3, 4])
+    name = f"regfile{width}x{1 << depth_bits}_{idx}"
+    return f"""module {name} (
+  input clk,
+  input we,
+  input [{depth_bits - 1}:0] waddr,
+  input [{width - 1}:0] wdata,
+  input [{depth_bits - 1}:0] raddr,
+  output [{width - 1}:0] rdata
+);
+  reg [{width - 1}:0] mem [0:{(1 << depth_bits) - 1}];
+  always @(posedge clk)
+    if (we) mem[waddr] <= wdata;
+  assign rdata = mem[raddr];
+endmodule
+"""
+
+
+@family("parity")
+def _parity(rng: random.Random, idx: int) -> str:
+    width = rng.choice([4, 8, 16])
+    kind = rng.choice(["even", "odd"])
+    name = f"parity_{kind}{width}_{idx}"
+    op = "^" if kind == "even" else "~^"
+    return f"""module {name} (
+  input [{width - 1}:0] data,
+  output p
+);
+  assign p = {op}data;
+endmodule
+"""
+
+
+@family("comparator")
+def _comparator(rng: random.Random, idx: int) -> str:
+    width = rng.choice([4, 8, 16])
+    name = f"cmp{width}_{idx}"
+    return f"""module {name} (
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  output eq,
+  output lt,
+  output gt
+);
+  assign eq = a == b;
+  assign lt = a < b;
+  assign gt = a > b;
+endmodule
+"""
+
+
+@family("gray_counter")
+def _gray_counter(rng: random.Random, idx: int) -> str:
+    width = rng.choice([3, 4, 5])
+    name = f"gray{width}_{idx}"
+    return f"""module {name} (
+  input clk,
+  input rst,
+  output [{width - 1}:0] gray
+);
+  reg [{width - 1}:0] bin;
+  always @(posedge clk)
+    if (rst) bin <= {width}'d0;
+    else bin <= bin + {width}'d1;
+  assign gray = bin ^ (bin >> 1);
+endmodule
+"""
+
+
+@family("freq_divider")
+def _freq_divider(rng: random.Random, idx: int) -> str:
+    bits = rng.choice([2, 3, 4])
+    name = f"freqdiv{1 << bits}_{idx}"
+    return f"""module {name} (
+  input clk,
+  input rst,
+  output clk_out
+);
+  reg [{bits - 1}:0] cnt;
+  always @(posedge clk)
+    if (rst) cnt <= 0;
+    else cnt <= cnt + 1;
+  assign clk_out = cnt[{bits - 1}];
+endmodule
+"""
+
+
+@family("fifo")
+def _fifo(rng: random.Random, idx: int) -> str:
+    width = rng.choice([8, 16])
+    depth_bits = 2
+    depth = 1 << depth_bits
+    name = f"fifo{width}x{depth}_{idx}"
+    return f"""module {name} (
+  input clk,
+  input rst,
+  input push,
+  input pop,
+  input [{width - 1}:0] din,
+  output [{width - 1}:0] dout,
+  output empty,
+  output full
+);
+  reg [{width - 1}:0] mem [0:{depth - 1}];
+  reg [{depth_bits}:0] count;
+  reg [{depth_bits - 1}:0] rptr, wptr;
+  assign empty = count == 0;
+  assign full = count == {depth};
+  assign dout = mem[rptr];
+  always @(posedge clk)
+    if (rst) begin
+      count <= 0;
+      rptr <= 0;
+      wptr <= 0;
+    end else begin
+      if (push && !full) begin
+        mem[wptr] <= din;
+        wptr <= wptr + 1;
+        if (!(pop && !empty)) count <= count + 1;
+      end
+      if (pop && !empty) begin
+        rptr <= rptr + 1;
+        if (!(push && !full)) count <= count - 1;
+      end
+    end
+endmodule
+"""
+
+
+@family("pwm")
+def _pwm(rng: random.Random, idx: int) -> str:
+    bits = rng.choice([4, 8])
+    name = f"pwm{bits}_{idx}"
+    return f"""module {name} (
+  input clk,
+  input rst,
+  input [{bits - 1}:0] duty,
+  output pwm_out
+);
+  reg [{bits - 1}:0] cnt;
+  always @(posedge clk)
+    if (rst) cnt <= 0;
+    else cnt <= cnt + 1;
+  assign pwm_out = cnt < duty;
+endmodule
+"""
+
+
+@family("decoder")
+def _decoder(rng: random.Random, idx: int) -> str:
+    sel_bits = rng.choice([2, 3])
+    name = f"dec{sel_bits}to{1 << sel_bits}_{idx}"
+    return f"""module {name} (
+  input [{sel_bits - 1}:0] sel,
+  input en,
+  output [{(1 << sel_bits) - 1}:0] y
+);
+  assign y = en ? ({(1 << sel_bits)}'d1 << sel) : {(1 << sel_bits)}'d0;
+endmodule
+"""
+
+
+def generate_design(rng: random.Random, index: int,
+                    family_name: str | None = None) -> str:
+    """One synthetic design; random family unless ``family_name`` given."""
+    if family_name is None:
+        family_name = rng.choice(sorted(_FAMILIES))
+    return _FAMILIES[family_name](rng, index)
+
+
+def generate_corpus(count: int, seed: int = 0,
+                    families: tuple[str, ...] | None = None) -> list[str]:
+    """A corpus of ``count`` well-formed synthetic Verilog files."""
+    rng = random.Random(seed)
+    pool = list(families) if families else sorted(_FAMILIES)
+    corpus = []
+    for index in range(count):
+        name = pool[index % len(pool)]
+        corpus.append(_FAMILIES[name](rng, index))
+    return corpus

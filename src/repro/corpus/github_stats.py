@@ -1,0 +1,83 @@
+"""Language dataset-scale statistics (paper Fig. 2).
+
+Fig. 2 motivates the work: hardware languages have orders of magnitude
+fewer public code artifacts than software languages, on both StackOverflow
+and GitHub.  The counts below (in thousands of entries) are representative
+of the figure's log2-scale bars; `render_fig2` reproduces the chart and
+`scarcity_ratio` the headline "orders of magnitude" comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+LANGUAGES = ("Verilog", "VHDL", "Python", "Java", "C", "Scala")
+HARDWARE_LANGUAGES = frozenset({"Verilog", "VHDL"})
+
+#: Entries (thousands), shaped after the paper's Fig. 2 bars.
+COUNTS: dict[str, dict[str, float]] = {
+    "Stackoverflow": {
+        "Verilog": 4.2, "VHDL": 5.1,
+        "Python": 2100.0, "Java": 1900.0, "C": 400.0, "Scala": 112.0,
+    },
+    "Github": {
+        "Verilog": 45.0, "VHDL": 32.0,
+        "Python": 2400.0, "Java": 2900.0, "C": 1100.0, "Scala": 95.0,
+    },
+}
+
+
+@dataclass(frozen=True)
+class LanguageBar:
+    source: str
+    language: str
+    count_thousands: float
+
+    @property
+    def log2_height(self) -> float:
+        return math.log2(max(self.count_thousands, 1e-6))
+
+
+def bars() -> list[LanguageBar]:
+    """All (source, language) bars in figure order."""
+    out = []
+    for source in ("Stackoverflow", "Github"):
+        for language in LANGUAGES:
+            out.append(LanguageBar(source, language,
+                                   COUNTS[source][language]))
+    return out
+
+
+def scarcity_ratio(source: str = "Github",
+                   software: str = "Python",
+                   hardware: str = "Verilog") -> float:
+    """How many times more data the software language has."""
+    return COUNTS[source][software] / COUNTS[source][hardware]
+
+
+def hardware_is_scarcer_everywhere() -> bool:
+    """The figure's claim: each HW language < each SW language, per source."""
+    for source, table in COUNTS.items():
+        hw_max = max(table[lang] for lang in HARDWARE_LANGUAGES)
+        sw_min = min(table[lang] for lang in LANGUAGES
+                     if lang not in HARDWARE_LANGUAGES)
+        if hw_max >= sw_min:
+            return False
+    return True
+
+
+def render_fig2(width: int = 48) -> str:
+    """ASCII log2 bar chart in the style of the paper's Fig. 2."""
+    entries = bars()
+    peak = max(bar.log2_height for bar in entries)
+    lines = ["Code Statistic Data (log2 scale, thousands of entries)"]
+    current_source = None
+    for bar in entries:
+        if bar.source != current_source:
+            current_source = bar.source
+            lines.append(f"-- {bar.source} --")
+        filled = int(round(width * max(bar.log2_height, 0) / peak))
+        lines.append(f"{bar.language:>8} | {'#' * filled} "
+                     f"{bar.count_thousands:g}k")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""EDA substrate: mini SiliconCompiler + synthesis + RTL-to-GDS flow.
+
+* :class:`Chip` — the SiliconCompiler-style API surface scripts drive;
+* :func:`synthesize` — AST → gate-level netlist (yosys stand-in);
+* :class:`Flow` — floorplan/place/CTS/route/STA/power/export backend
+  (OpenLane stand-in on a sky130-like PDK);
+* :func:`run_script` — execute + judge generated scripts (Table 4);
+* :func:`reference_corpus` — the ~200 valid scripts of Sec. 3.3.
+"""
+
+from .chip import Chip, SCError
+from .flow import Flow, FlowConstraints, FlowResult, PPAReport, StageResult
+from .pdk import PDK, SKY130, TARGETS, Cell
+from .reference_scripts import (BENCHMARK_SCRIPTS, DESIGN_SOURCES,
+                                reference_corpus)
+from .equivalence import EquivalenceResult, check_equivalence
+from .netlist_writer import netlist_to_verilog
+from .script_runner import Expectation, ScriptCheck, run_script
+from .synthesis import (Gate, Netlist, SynthesisError, SynthResult,
+                        Synthesizer, synthesize)
+
+__all__ = [
+    "Chip", "SCError", "Flow", "FlowConstraints", "FlowResult",
+    "PPAReport", "StageResult", "PDK", "SKY130", "TARGETS", "Cell",
+    "synthesize", "SynthResult", "Synthesizer", "Netlist", "Gate",
+    "SynthesisError", "run_script", "ScriptCheck", "Expectation",
+    "reference_corpus", "BENCHMARK_SCRIPTS", "DESIGN_SOURCES",
+    "netlist_to_verilog", "check_equivalence", "EquivalenceResult",
+]

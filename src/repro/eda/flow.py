@@ -1,0 +1,323 @@
+"""RTL-to-GDS flow model (the OpenLane backend stand-in).
+
+``Flow.run`` executes the classic stage sequence — import → synthesis →
+floorplan → placement → CTS → routing → STA → power → export — over the
+gate-level netlist produced by :mod:`repro.eda.synthesis`.  Each stage
+emits metrics; a failing stage (lint error, core overflow, congestion,
+negative slack) stops the flow exactly like a real backend.
+
+The flow output is a :class:`PPAReport` plus a GDS-like placement dump —
+what the paper's Fig. 4 labels "GDS II" and "PPA Report".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..checker import check_source
+from .pdk import PDK, SKY130
+from .synthesis import SynthesisError, SynthResult, synthesize
+
+
+@dataclass
+class FlowConstraints:
+    """User constraints gathered from the Chip schema."""
+
+    clock_period_ns: float = 10.0
+    clock_pin: str = "clk"
+    die_area: tuple[float, float] | None = None   # (width, height) um
+    core_margin_um: float = 1.0
+    density_pct: float = 60.0
+    aspect_ratio: float = 1.0
+
+
+@dataclass
+class StageResult:
+    name: str
+    ok: bool
+    metrics: dict[str, float | int | str] = field(default_factory=dict)
+    error: str | None = None
+
+
+@dataclass
+class PPAReport:
+    """Power / performance / area summary."""
+
+    cell_area_um2: float
+    die_area_um2: float
+    utilization_pct: float
+    num_cells: int
+    num_flops: int
+    critical_path_ns: float
+    fmax_mhz: float
+    slack_ns: float
+    power_mw: float
+    wirelength_um: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("cell area (um^2)", f"{self.cell_area_um2:.1f}"),
+            ("die area (um^2)", f"{self.die_area_um2:.1f}"),
+            ("utilization (%)", f"{self.utilization_pct:.1f}"),
+            ("cells", str(self.num_cells)),
+            ("registers", str(self.num_flops)),
+            ("critical path (ns)", f"{self.critical_path_ns:.3f}"),
+            ("fmax (MHz)", f"{self.fmax_mhz:.1f}"),
+            ("setup slack (ns)", f"{self.slack_ns:.3f}"),
+            ("power (mW)", f"{self.power_mw:.4f}"),
+            ("wirelength (um)", f"{self.wirelength_um:.1f}"),
+        ]
+
+
+@dataclass
+class FlowResult:
+    design: str
+    stages: list[StageResult] = field(default_factory=list)
+    ppa: PPAReport | None = None
+    gds: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.stages) and all(stage.ok for stage in self.stages)
+
+    def stage(self, name: str) -> StageResult:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage '{name}'")
+
+    def summary(self) -> str:
+        lines = [f"SUMMARY: {self.design}",
+                 "-" * 46]
+        for stage in self.stages:
+            status = "ok" if stage.ok else f"FAIL ({stage.error})"
+            lines.append(f"{stage.name:<12} {status}")
+        if self.ppa is not None:
+            lines.append("-" * 46)
+            for key, value in self.ppa.rows():
+                lines.append(f"{key:<24} {value:>18}")
+        return "\n".join(lines)
+
+
+class Flow:
+    """Run the full RTL-to-GDS pipeline for one design."""
+
+    def __init__(self, pdk: PDK = SKY130):
+        self.pdk = pdk
+
+    def run(self, source_text: str, top: str | None,
+            constraints: FlowConstraints) -> FlowResult:
+        design = top or "design"
+        result = FlowResult(design=design)
+
+        # -- import ------------------------------------------------------
+        lint = check_source(source_text, f"./{design}.v")
+        if not lint.ok:
+            result.stages.append(StageResult(
+                name="import", ok=False, error=lint.first_error()))
+            return result
+        result.stages.append(StageResult(
+            name="import", ok=True,
+            metrics={"warnings": len(lint.warnings)}))
+
+        # -- synthesis -----------------------------------------------------
+        try:
+            synth = synthesize(source_text, top=top, pdk=self.pdk)
+        except SynthesisError as exc:
+            result.stages.append(StageResult(name="syn", ok=False,
+                                             error=str(exc)))
+            return result
+        result.design = synth.netlist.module
+        result.stages.append(StageResult(
+            name="syn", ok=True,
+            metrics={"cells": synth.num_cells,
+                     "area_um2": round(synth.area_um2, 2),
+                     "registers": len(synth.netlist.flops)}))
+
+        # -- floorplan -----------------------------------------------------
+        fp = self._floorplan(synth, constraints)
+        result.stages.append(fp)
+        if not fp.ok:
+            return result
+        die_w = float(fp.metrics["die_w"])
+        die_h = float(fp.metrics["die_h"])
+
+        # -- placement -----------------------------------------------------
+        # Auto-sized floorplans may grow (row fragmentation); explicit
+        # die constraints are hard limits.
+        expandable = constraints.die_area is None
+        place = self._place(synth, die_w, die_h,
+                            constraints.core_margin_um,
+                            expandable=expandable)
+        result.stages.append(place)
+        if not place.ok:
+            return result
+        positions = place.metrics.pop("_positions")
+        die_h = float(place.metrics.get("die_h", die_h))
+        hpwl = float(place.metrics["hpwl_um"])
+
+        # -- clock tree --------------------------------------------------
+        flops = len(synth.netlist.flops)
+        buffers = max(int(math.ceil(math.log2(flops + 1))), 1) if flops \
+            else 0
+        skew = buffers * self.pdk.cell("BUF").delay_ns * 0.25
+        result.stages.append(StageResult(
+            name="cts", ok=True,
+            metrics={"clock_buffers": buffers,
+                     "skew_ns": round(skew, 4)}))
+
+        # -- routing -----------------------------------------------------
+        wirelength = hpwl * 1.15
+        # ~2 routable wire-um per um^2 per layer (pitch + blockage margin)
+        capacity = die_w * die_h * self.pdk.metal_layers * 2.0
+        congestion = wirelength / max(capacity, 1e-9)
+        route_ok = congestion <= 1.0
+        result.stages.append(StageResult(
+            name="route", ok=route_ok,
+            metrics={"wirelength_um": round(wirelength, 1),
+                     "congestion": round(congestion, 3)},
+            error=None if route_ok else "routing congestion > 100%"))
+        if not route_ok:
+            return result
+
+        # -- STA -----------------------------------------------------------
+        gate_path = synth.critical_path_ns
+        num_nets = max(synth.num_cells, 1)
+        avg_net = wirelength / num_nets
+        depth = max(int(gate_path / max(self.pdk.cell("INV").delay_ns,
+                                        1e-9)) // 2, 1)
+        wire_path = avg_net * self.pdk.wire_delay_ns_per_um * depth
+        critical = gate_path + wire_path + skew
+        slack = constraints.clock_period_ns - critical
+        sta_ok = slack >= 0
+        result.stages.append(StageResult(
+            name="sta", ok=sta_ok,
+            metrics={"critical_ns": round(critical, 4),
+                     "slack_ns": round(slack, 4)},
+            error=None if sta_ok else "setup timing violated"))
+        if not sta_ok:
+            return result
+
+        # -- power ---------------------------------------------------------
+        freq_ghz = 1.0 / constraints.clock_period_ns
+        activity = 0.1
+        dynamic_mw = sum(self.pdk.cell(g.kind).dynamic_pj
+                         for g in synth.netlist.gates) \
+            * activity * freq_ghz * 1e-3
+        leakage_mw = sum(self.pdk.cell(g.kind).leakage_nw
+                         for g in synth.netlist.gates) * 1e-6
+        wire_mw = (wirelength * self.pdk.wire_cap_ff_per_um
+                   * activity * freq_ghz) * 1e-6 * 1.8 ** 2
+        power = dynamic_mw + leakage_mw + wire_mw
+        result.stages.append(StageResult(
+            name="power", ok=True,
+            metrics={"power_mw": round(power, 4)}))
+
+        # -- export --------------------------------------------------------
+        result.gds = {
+            "design": result.design,
+            "units_um": 1.0,
+            "die": [0.0, 0.0, round(die_w, 3), round(die_h, 3)],
+            "cell_count": synth.num_cells,
+            "cells": [
+                {"name": f"u{i}", "type": gate.kind,
+                 "xy": [round(positions[i][0], 3),
+                        round(positions[i][1], 3)]}
+                for i, gate in enumerate(synth.netlist.gates)
+            ],
+        }
+        result.stages.append(StageResult(
+            name="export", ok=True,
+            metrics={"gds_cells": synth.num_cells}))
+
+        result.ppa = PPAReport(
+            cell_area_um2=synth.area_um2,
+            die_area_um2=die_w * die_h,
+            utilization_pct=100.0 * synth.area_um2 / (die_w * die_h),
+            num_cells=synth.num_cells,
+            num_flops=len(synth.netlist.flops),
+            critical_path_ns=critical,
+            fmax_mhz=1000.0 / critical if critical > 0 else 10_000.0,
+            slack_ns=slack,
+            power_mw=power,
+            wirelength_um=wirelength,
+        )
+        return result
+
+    # -- stage helpers -----------------------------------------------------
+
+    def _floorplan(self, synth: SynthResult,
+                   constraints: FlowConstraints) -> StageResult:
+        margin = constraints.core_margin_um
+        if constraints.die_area is not None:
+            die_w, die_h = constraints.die_area
+        else:
+            density = max(min(constraints.density_pct, 95.0), 5.0) / 100.0
+            core_area = synth.area_um2 / density
+            aspect = max(constraints.aspect_ratio, 0.1)
+            core_w = math.sqrt(core_area / aspect)
+            core_h = core_area / core_w
+            die_w = core_w + 2 * margin
+            die_h = core_h + 2 * margin
+        core_w = die_w - 2 * margin
+        core_h = die_h - 2 * margin
+        if core_w <= 0 or core_h <= 0:
+            return StageResult(name="floorplan", ok=False,
+                               error="core margin exceeds die")
+        if synth.area_um2 > core_w * core_h:
+            return StageResult(
+                name="floorplan", ok=False,
+                error=f"cells ({synth.area_um2:.1f} um^2) do not fit core "
+                      f"({core_w * core_h:.1f} um^2)")
+        return StageResult(
+            name="floorplan", ok=True,
+            metrics={"die_w": round(die_w, 3), "die_h": round(die_h, 3),
+                     "core_utilization":
+                         round(100 * synth.area_um2 / (core_w * core_h),
+                               1)})
+
+    def _place(self, synth: SynthResult, die_w: float, die_h: float,
+               margin: float, expandable: bool = False) -> StageResult:
+        """Row-based deterministic placement + HPWL accounting.
+
+        ``expandable`` lets an auto-sized die grow row by row when row
+        fragmentation overflows the initial estimate (what a real
+        floorplanner's utilization iteration does).
+        """
+        gates = synth.netlist.gates
+        positions: list[tuple[float, float]] = []
+        row_height = self.pdk.site_height_um
+        x = margin
+        y = margin
+        for gate in gates:
+            cell = self.pdk.cell(gate.kind)
+            width = max(cell.area_um2 / row_height, self.pdk.site_width_um)
+            if x + width > die_w - margin:
+                x = margin
+                y += row_height
+            if y + row_height > die_h - margin:
+                if expandable:
+                    die_h = y + row_height + margin
+                else:
+                    return StageResult(name="place", ok=False,
+                                       error="placement overflow")
+            positions.append((x, y))
+            x += width
+        net_pins: dict[str, list[tuple[float, float]]] = {}
+        for i, gate in enumerate(gates):
+            for net in gate.inputs + [gate.output]:
+                net_pins.setdefault(net, []).append(positions[i])
+        hpwl = 0.0
+        for pins in net_pins.values():
+            if len(pins) < 2:
+                continue
+            xs = [p[0] for p in pins]
+            ys = [p[1] for p in pins]
+            hpwl += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return StageResult(
+            name="place", ok=True,
+            metrics={"hpwl_um": round(hpwl, 2),
+                     "rows": int((die_h - 2 * margin) / row_height),
+                     "die_h": round(die_h, 3),
+                     "_positions": positions})

@@ -1,0 +1,96 @@
+"""Emit a synthesized netlist as structural Verilog.
+
+The emitted gate-level module uses only primitive continuous assigns and
+clocked processes, so it parses and simulates with :mod:`repro.verilog` /
+:mod:`repro.sim`.  This closes the loop for *logical equivalence
+checking*: the RTL and its own synthesized netlist can be driven with the
+same random vectors and compared output-for-output
+(:func:`repro.eda.equivalence.check_equivalence`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .synthesis import Gate, Netlist
+
+_GATE_EXPR = {
+    "BUF": "{0}",
+    "INV": "~{0}",
+    "AND2": "{0} & {1}",
+    "OR2": "{0} | {1}",
+    "NAND2": "~({0} & {1})",
+    "NOR2": "~({0} | {1})",
+    "XOR2": "{0} ^ {1}",
+    "XNOR2": "~({0} ^ {1})",
+    "MUX2": "{2} ? {1} : {0}",
+    "TIE0": "1'b0",
+    "TIE1": "1'b1",
+}
+
+_NET_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _net_name(net: str) -> str:
+    """Map a netlist net ('count[1]', 'n42', '$zero') to a flat wire name."""
+    if net == "$zero":
+        return "1'b0"
+    if net == "$one":
+        return "1'b1"
+    return "nl_" + _NET_RE.sub("_", net)
+
+
+def netlist_to_verilog(netlist: Netlist,
+                       module_name: str | None = None) -> str:
+    """Structural Verilog for ``netlist`` with bit-level ports.
+
+    Ports keep their original bracketed names flattened to legal
+    identifiers (``count[1]`` → ``nl_count_1_``) so the equivalence
+    checker can map RTL bits onto netlist ports mechanically.
+    """
+    name = module_name or f"{netlist.module}_gates"
+    in_ports = [_net_name(n) for n in netlist.inputs]
+    out_ports = [_net_name(n) for n in netlist.outputs]
+    clock_port = None
+    if netlist.clock is not None:
+        clock_net = _net_name(f"{netlist.clock}[0]")
+        if clock_net not in in_ports:
+            clock_port = clock_net
+    header_ports = in_ports + ([clock_port] if clock_port else []) \
+        + out_ports
+    lines = [f"module {name} ("]
+    lines.extend(f"  input {p}," for p in in_ports)
+    if clock_port:
+        lines.append(f"  input {clock_port},")
+    lines.extend(f"  output {p}," for p in out_ports)
+    lines[-1] = lines[-1].rstrip(",")
+    lines.append(");")
+
+    declared = set(header_ports)
+    flops: list[Gate] = []
+    for gate in netlist.gates:
+        out = _net_name(gate.output)
+        if out in declared or out.startswith("1'b"):
+            continue
+        declared.add(out)
+        if gate.kind == "DFF":
+            lines.append(f"  reg {out};")
+        else:
+            lines.append(f"  wire {out};")
+    for gate in netlist.gates:
+        inputs = [_net_name(n) for n in gate.inputs]
+        out = _net_name(gate.output)
+        if gate.kind == "DFF":
+            flops.append(gate)
+            continue
+        template = _GATE_EXPR.get(gate.kind)
+        if template is None:
+            raise ValueError(f"no structural template for {gate.kind}")
+        lines.append(f"  assign {out} = {template.format(*inputs)};")
+    for gate in flops:
+        d_net = _net_name(gate.inputs[0])
+        clk_net = _net_name(gate.inputs[1])
+        out = _net_name(gate.output)
+        lines.append(f"  always @(posedge {clk_net}) {out} <= {d_net};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,90 @@
+"""Process design kit model (SkyWater 130nm stand-in).
+
+Cell areas/delays are representative of the sky130_fd_sc_hd library's
+order of magnitude; they feed the synthesis area report, the static
+timing analysis and the power estimate in the PPA report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell."""
+
+    name: str
+    area_um2: float
+    delay_ns: float          # nominal propagation delay
+    leakage_nw: float
+    dynamic_pj: float        # energy per toggle (pJ)
+    inputs: int
+
+
+@dataclass(frozen=True)
+class PDK:
+    """A process design kit: cell library + routing constants."""
+
+    name: str
+    cells: dict[str, Cell]
+    site_width_um: float
+    site_height_um: float
+    wire_delay_ns_per_um: float
+    wire_cap_ff_per_um: float
+    metal_layers: int
+
+    def cell(self, kind: str) -> Cell:
+        try:
+            return self.cells[kind]
+        except KeyError:
+            raise KeyError(f"PDK {self.name} has no cell '{kind}'") \
+                from None
+
+
+def _sky130_cells() -> dict[str, Cell]:
+    rows = [
+        # name      area   delay  leak  dyn  ins
+        ("BUF",     3.75,  0.12,  1.0,  2.0, 1),
+        ("INV",     2.50,  0.07,  0.8,  1.5, 1),
+        ("AND2",    5.00,  0.14,  1.2,  2.5, 2),
+        ("OR2",     5.00,  0.15,  1.2,  2.5, 2),
+        ("NAND2",   3.75,  0.09,  1.0,  2.0, 2),
+        ("NOR2",    3.75,  0.11,  1.0,  2.0, 2),
+        ("XOR2",    8.75,  0.20,  1.8,  3.5, 2),
+        ("XNOR2",   8.75,  0.21,  1.8,  3.5, 2),
+        ("MUX2",   10.00,  0.18,  2.0,  3.8, 3),
+        ("DFF",    20.00,  0.30,  4.5,  8.0, 2),
+        ("TIE0",    1.25,  0.00,  0.2,  0.0, 0),
+        ("TIE1",    1.25,  0.00,  0.2,  0.0, 0),
+    ]
+    return {name: Cell(name, area, delay, leak, dyn, ins)
+            for name, area, delay, leak, dyn, ins in rows}
+
+
+SKY130 = PDK(
+    name="skywater130",
+    cells=_sky130_cells(),
+    site_width_um=0.46,
+    site_height_um=2.72,
+    wire_delay_ns_per_um=0.0002,
+    wire_cap_ff_per_um=0.2,
+    metal_layers=5,
+)
+
+#: Targets the mini SiliconCompiler can load.
+TARGETS = {
+    "skywater130_demo": SKY130,
+    "asap7_demo": PDK(
+        name="asap7",
+        cells={name: Cell(cell.name, cell.area_um2 * 0.12,
+                          cell.delay_ns * 0.4, cell.leakage_nw * 0.5,
+                          cell.dynamic_pj * 0.3, cell.inputs)
+               for name, cell in _sky130_cells().items()},
+        site_width_um=0.054,
+        site_height_um=0.27,
+        wire_delay_ns_per_um=0.0001,
+        wire_cap_ff_per_um=0.15,
+        metal_layers=9,
+    ),
+}

@@ -1,0 +1,156 @@
+"""Reference designs and the ~200-script SiliconCompiler corpus.
+
+The paper feeds "around 200 examples of valid SiliconCompiler scripts" to
+the describer LLM (Sec. 3.3).  This module generates that corpus: a
+deterministic parameter sweep of valid script shapes over a catalog of
+small synthesisable designs, plus the five benchmark reference scripts
+(Basic / Layout / Clock Period / Core Area / Mixed) used by Table 4.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Synthesisable designs the scripts compile, keyed by input filename.
+DESIGN_SOURCES: dict[str, str] = {
+    "heartbeat.v": """module heartbeat (input clk, output reg out);
+  reg [7:0] counter;
+  always @(posedge clk) begin
+    counter <= counter + 8'd1;
+    out <= counter == 8'd0;
+  end
+endmodule
+""",
+    "counter.v": """module counter (input clk, input rst, input en,
+                output reg [7:0] count);
+  always @(posedge clk)
+    if (rst) count <= 8'd0;
+    else if (en) count <= count + 8'd1;
+endmodule
+""",
+    "gcd_step.v": """module gcd_step (input [7:0] a, input [7:0] b,
+                 output [7:0] na, output [7:0] nb);
+  assign na = (a > b) ? a - b : a;
+  assign nb = (b > a) ? b - a : b;
+endmodule
+""",
+    "gray.v": """module gray (input clk, input rst, output [3:0] code);
+  reg [3:0] bin;
+  always @(posedge clk)
+    if (rst) bin <= 4'd0;
+    else bin <= bin + 4'd1;
+  assign code = bin ^ (bin >> 1);
+endmodule
+""",
+    "alu_slice.v": """module alu_slice (input [3:0] a, input [3:0] b,
+                  input [1:0] op, output reg [3:0] y);
+  always @(*)
+    case (op)
+      2'b00: y = a + b;
+      2'b01: y = a - b;
+      2'b10: y = a & b;
+      default: y = a | b;
+    endcase
+endmodule
+""",
+    "shifter.v": """module shifter (input clk, input d, output reg [7:0] q);
+  always @(posedge clk)
+    q <= {q[6:0], d};
+endmodule
+""",
+    "parity8.v": """module parity8 (input [7:0] data, output p);
+  assign p = ^data;
+endmodule
+""",
+    "pwm.v": """module pwm (input clk, input rst, input [3:0] duty,
+            output out);
+  reg [3:0] cnt;
+  always @(posedge clk)
+    if (rst) cnt <= 4'd0;
+    else cnt <= cnt + 4'd1;
+  assign out = cnt < duty;
+endmodule
+""",
+}
+
+_DESIGN_NAMES = {filename: filename[:-2] for filename in DESIGN_SOURCES}
+
+
+def _script(design_file: str, *, clock: float | None = None,
+            diearea: tuple[float, float] | None = None,
+            coremargin: float | None = None,
+            density: float | None = None,
+            aspect: float | None = None,
+            quiet: bool = False,
+            jobname: str | None = None,
+            target: str = "skywater130_demo") -> str:
+    name = _DESIGN_NAMES[design_file]
+    lines = ["from siliconcompiler import Chip",
+             f"chip = Chip('{name}')",
+             f"chip.input('{design_file}')"]
+    if clock is not None:
+        lines.append(f"chip.clock('clk', period={clock})")
+    if diearea is not None:
+        width, height = diearea
+        lines.append(f"chip.set('asic', 'diearea', "
+                     f"[(0, 0), ({width}, {height})])")
+    if coremargin is not None:
+        lines.append(f"chip.set('constraint', 'coremargin', {coremargin})")
+    if density is not None:
+        lines.append(f"chip.set('constraint', 'density', {density})")
+    if aspect is not None:
+        lines.append(f"chip.set('constraint', 'aspectratio', {aspect})")
+    if quiet:
+        lines.append("chip.set('option', 'quiet', True)")
+    if jobname is not None:
+        lines.append(f"chip.set('option', 'jobname', '{jobname}')")
+    lines.append(f"chip.load_target('{target}')")
+    lines.append("chip.run()")
+    lines.append("chip.summary()")
+    return "\n".join(lines) + "\n"
+
+
+def reference_corpus(count: int = 200, seed: int = 0) -> list[str]:
+    """``count`` distinct valid scripts (the paper's ~200 examples)."""
+    rng = random.Random(seed)
+    files = sorted(DESIGN_SOURCES)
+    scripts: list[str] = []
+    seen: set[str] = set()
+    attempt = 0
+    while len(scripts) < count and attempt < count * 20:
+        attempt += 1
+        design_file = files[attempt % len(files)]
+        kwargs: dict = {}
+        if rng.random() < 0.8:
+            kwargs["clock"] = rng.choice([5, 8, 10, 12.5, 15, 20, 25, 40])
+        if rng.random() < 0.3:
+            side = rng.choice([60, 80, 100, 120, 150, 200])
+            kwargs["diearea"] = (side, side)
+        if rng.random() < 0.35:
+            kwargs["coremargin"] = rng.choice([1, 2, 4, 5])
+        if rng.random() < 0.35:
+            kwargs["density"] = rng.choice([40, 50, 60, 70, 80])
+        if rng.random() < 0.2:
+            kwargs["aspect"] = rng.choice([0.5, 1.0, 1.5, 2.0])
+        if rng.random() < 0.2:
+            kwargs["quiet"] = True
+        if rng.random() < 0.15:
+            kwargs["jobname"] = f"job{rng.randrange(100)}"
+        if rng.random() < 0.1:
+            kwargs["target"] = "asap7_demo"
+        script = _script(design_file, **kwargs)
+        if script not in seen:
+            seen.add(script)
+            scripts.append(script)
+    return scripts
+
+
+#: Table-4 benchmark reference scripts, one per task level.
+BENCHMARK_SCRIPTS: dict[str, str] = {
+    "Basic": _script("heartbeat.v"),
+    "Layout": _script("heartbeat.v", diearea=(100, 100)),
+    "Clock Period": _script("heartbeat.v", clock=10),
+    "Core Area": _script("heartbeat.v", diearea=(120, 120), coremargin=2),
+    "Mixed": _script("counter.v", clock=12.5, diearea=(150, 150),
+                     coremargin=2, density=60, quiet=True),
+}

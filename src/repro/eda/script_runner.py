@@ -1,0 +1,127 @@
+"""Execute and judge generated SiliconCompiler scripts (Table 4's referee).
+
+``run_script`` answers the two questions Table 4 asks about a candidate
+script:
+
+* **syntax** — is it valid Python at all? (``compile()``)
+* **function** — does it execute against the mini SiliconCompiler without
+  errors, run the flow to completion, and satisfy the task's expectation?
+
+The script executes in a restricted namespace with a shimmed
+``siliconcompiler`` module so ``from siliconcompiler import Chip`` works.
+"""
+
+from __future__ import annotations
+
+import builtins
+import sys
+import types
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .chip import Chip, SCError
+
+#: A task expectation inspects the executed Chip and passes/fails it.
+Expectation = Callable[[Chip], bool]
+
+
+@dataclass
+class ScriptCheck:
+    """Verdict for one candidate script."""
+
+    syntax_ok: bool
+    function_ok: bool
+    error: str | None = None
+    chips: list[Chip] = field(default_factory=list)
+
+    @property
+    def summary(self) -> str:
+        if not self.syntax_ok:
+            return f"syntax error: {self.error}"
+        if not self.function_ok:
+            return f"functional error: {self.error}"
+        return "ok"
+
+
+_ALLOWED_BUILTINS = {
+    "abs", "bool", "dict", "enumerate", "float", "int", "len", "list",
+    "max", "min", "print", "range", "round", "set", "sorted", "str",
+    "sum", "tuple", "zip", "True", "False", "None", "__import__",
+    "isinstance", "getattr", "setattr", "hasattr", "repr",
+}
+
+
+def _restricted_builtins() -> dict:
+    return {name: getattr(builtins, name)
+            for name in _ALLOWED_BUILTINS if hasattr(builtins, name)}
+
+
+def run_script(script: str,
+               expectation: Expectation | None = None,
+               extra_sources: dict[str, str] | None = None) -> ScriptCheck:
+    """Compile + execute a candidate script and judge the outcome."""
+    try:
+        code = compile(script, "<candidate>", "exec")
+    except SyntaxError as exc:
+        return ScriptCheck(syntax_ok=False, function_ok=False,
+                           error=f"line {exc.lineno}: {exc.msg}")
+
+    chips: list[Chip] = []
+
+    def tracked_chip(design: str) -> Chip:
+        chip = Chip(design)
+        if extra_sources:
+            chip.source_library.update(extra_sources)
+        chips.append(chip)
+        return chip
+
+    shim = types.ModuleType("siliconcompiler")
+    shim.Chip = tracked_chip
+    namespace = {
+        "__builtins__": _restricted_builtins(),
+        "Chip": tracked_chip,
+        "siliconcompiler": shim,
+    }
+    previous = sys.modules.get("siliconcompiler")
+    sys.modules["siliconcompiler"] = shim
+    try:
+        exec(code, namespace)           # noqa: S102 — sandboxed namespace
+    except SCError as exc:
+        return ScriptCheck(syntax_ok=True, function_ok=False,
+                           error=str(exc), chips=chips)
+    except Exception as exc:            # genuine script bug
+        return ScriptCheck(syntax_ok=True, function_ok=False,
+                           error=f"{type(exc).__name__}: {exc}",
+                           chips=chips)
+    finally:
+        if previous is not None:
+            sys.modules["siliconcompiler"] = previous
+        else:
+            sys.modules.pop("siliconcompiler", None)
+
+    if not chips:
+        return ScriptCheck(syntax_ok=True, function_ok=False,
+                           error="script never created a Chip",
+                           chips=chips)
+    ran = [chip for chip in chips if chip.result is not None]
+    if not ran:
+        return ScriptCheck(syntax_ok=True, function_ok=False,
+                           error="script never ran the flow", chips=chips)
+    failed = [chip for chip in ran if not chip.result.ok]
+    if failed:
+        bad = failed[0].result
+        stage_errors = [s.error for s in bad.stages if not s.ok]
+        return ScriptCheck(syntax_ok=True, function_ok=False,
+                           error=f"flow failed: {stage_errors[0]}",
+                           chips=chips)
+    if expectation is not None:
+        try:
+            if not expectation(ran[0]):
+                return ScriptCheck(syntax_ok=True, function_ok=False,
+                                   error="task expectation not met",
+                                   chips=chips)
+        except Exception as exc:
+            return ScriptCheck(syntax_ok=True, function_ok=False,
+                               error=f"expectation error: {exc}",
+                               chips=chips)
+    return ScriptCheck(syntax_ok=True, function_ok=True, chips=chips)

@@ -1,0 +1,24 @@
+"""Evaluation harness: pass@k, generation/repair/script evals, renderers."""
+
+from .passk import format_pct, pass_at_k, success_rate
+from .repair_eval import (BrokenCase, RepairCell, RepairReport,
+                          evaluate_repair, evaluate_repair_cell,
+                          make_broken_case)
+from .reporting import (render_table1, render_table3, render_table4,
+                        render_table5)
+from .script_eval import (IterationResult, ScriptReport, evaluate_scripts,
+                          iterations_to_correct)
+from .verilog_eval import (CandidateResult, CellResult, GenerationReport,
+                           clear_cache, evaluate_candidate, evaluate_cell,
+                           evaluate_generation)
+
+__all__ = [
+    "pass_at_k", "success_rate", "format_pct",
+    "evaluate_candidate", "evaluate_cell", "evaluate_generation",
+    "CandidateResult", "CellResult", "GenerationReport", "clear_cache",
+    "make_broken_case", "evaluate_repair", "evaluate_repair_cell",
+    "BrokenCase", "RepairCell", "RepairReport",
+    "iterations_to_correct", "evaluate_scripts", "IterationResult",
+    "ScriptReport",
+    "render_table1", "render_table3", "render_table4", "render_table5",
+]

@@ -1,0 +1,40 @@
+"""pass@k estimation (Chen et al., 2021) and counting helpers."""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased pass@k: probability ≥1 of k samples (of n, c correct) pass.
+
+    >>> pass_at_k(5, 0, 5)
+    0.0
+    >>> pass_at_k(5, 5, 5)
+    1.0
+    """
+    if n < 0 or c < 0 or c > n:
+        raise ValueError("need 0 <= c <= n")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if n == 0:
+        return 0.0
+    if k >= n:
+        return 1.0 if c > 0 else 0.0
+    if c == 0:
+        return 0.0
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def success_rate(successes: int, total: int) -> float:
+    """Fraction in [0, 1]; 0 when total == 0."""
+    if total <= 0:
+        return 0.0
+    return successes / total
+
+
+def format_pct(fraction: float, decimals: int = 1) -> str:
+    """0.706 → '70.6%' (paper formatting)."""
+    return f"{100 * fraction:.{decimals}f}%"

@@ -1,0 +1,124 @@
+"""Verilog-generation evaluation (drives Table 5).
+
+For every (model, problem, prompt level) cell the harness draws five
+samples, counts **syntax** failures with the yosys-style checker and takes
+the best testbench **function** pass fraction — exactly the two numbers
+each Table 5 cell reports.  Verdicts are produced only by the checker and
+simulator; results are memoised per (problem, candidate) since correct
+candidates repeat.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..bench.problems import PROMPT_LEVELS, Problem
+from ..checker import check_source
+from ..llm.behavioral import BehavioralModel
+from ..sim import run_testbench
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    syntax_ok: bool
+    pass_fraction: float
+
+
+@dataclass
+class CellResult:
+    """One Table 5 cell: syntax-error count + best function rate."""
+
+    syntax_errors: int
+    function_rate: float
+    samples: int = 5
+
+    @property
+    def solved(self) -> bool:
+        return self.function_rate >= 0.999
+
+
+@dataclass
+class GenerationReport:
+    """model → problem → level → CellResult."""
+
+    cells: dict[str, dict[str, dict[str, CellResult]]] = \
+        field(default_factory=dict)
+
+    def cell(self, model: str, problem: str, level: str) -> CellResult:
+        return self.cells[model][problem][level]
+
+    def problem_solved(self, model: str, problem: str) -> bool:
+        levels = self.cells[model][problem]
+        return any(cell.solved for cell in levels.values())
+
+    def success_rate(self, model: str,
+                     problems: list[str] | None = None) -> float:
+        names = problems if problems is not None \
+            else list(self.cells[model])
+        if not names:
+            return 0.0
+        solved = sum(self.problem_solved(model, name) for name in names)
+        return solved / len(names)
+
+
+_CACHE: dict[tuple[str, str], CandidateResult] = {}
+
+
+def evaluate_candidate(code: str, problem: Problem) -> CandidateResult:
+    """Syntax-check then simulate one candidate against the testbench."""
+    key = (problem.name,
+           hashlib.sha256(code.encode()).hexdigest())
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    check = check_source(code, f"./{problem.name}.v")
+    if not check.ok:
+        result = CandidateResult(syntax_ok=False, pass_fraction=0.0)
+    else:
+        verdict = run_testbench(code, problem.testbench)
+        if not verdict.ok:
+            result = CandidateResult(syntax_ok=True, pass_fraction=0.0)
+        else:
+            result = CandidateResult(syntax_ok=True,
+                                     pass_fraction=verdict.pass_fraction)
+    _CACHE[key] = result
+    return result
+
+
+def evaluate_cell(model: BehavioralModel, problem: Problem, level: str,
+                  n_samples: int = 5) -> CellResult:
+    """One benchmark cell: n samples → syntax count + best function."""
+    samples = model.generate_verilog(
+        problem.reference, problem.tier, problem.difficulty, level=level,
+        n_samples=n_samples, problem_name=problem.name)
+    syntax_errors = 0
+    best = 0.0
+    for code in samples:
+        outcome = evaluate_candidate(code, problem)
+        if not outcome.syntax_ok:
+            syntax_errors += 1
+        best = max(best, outcome.pass_fraction)
+    return CellResult(syntax_errors=syntax_errors, function_rate=best,
+                      samples=n_samples)
+
+
+def evaluate_generation(models: list[BehavioralModel],
+                        problems: list[Problem],
+                        levels: tuple[str, ...] = PROMPT_LEVELS,
+                        n_samples: int = 5) -> GenerationReport:
+    """Full Table-5 style sweep."""
+    report = GenerationReport()
+    for model in models:
+        model_cells: dict[str, dict[str, CellResult]] = {}
+        for problem in problems:
+            model_cells[problem.name] = {
+                level: evaluate_cell(model, problem, level, n_samples)
+                for level in levels
+            }
+        report.cells[model.name] = model_cells
+    return report
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,25 @@
+"""Experiment: Fig. 2 — hardware-language data scarcity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..corpus import (hardware_is_scarcer_everywhere, render_fig2,
+                      scarcity_ratio)
+
+
+@dataclass
+class Fig2Result:
+    rendered: str
+    github_ratio: float
+    stackoverflow_ratio: float
+    claim_holds: bool
+
+
+def run_fig2(quick: bool = False) -> Fig2Result:
+    return Fig2Result(
+        rendered=render_fig2(),
+        github_ratio=scarcity_ratio("Github", "Python", "Verilog"),
+        stackoverflow_ratio=scarcity_ratio("Stackoverflow", "Python",
+                                           "Verilog"),
+        claim_holds=hardware_is_scarcer_everywhere())

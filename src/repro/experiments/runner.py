@@ -1,0 +1,47 @@
+"""Run every experiment and collect the rendered tables/figures."""
+
+from __future__ import annotations
+
+from ..eval import render_table1
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig5 import run_fig5
+from .fig7 import run_fig7
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+
+
+def run_all(quick: bool = True) -> dict[str, str]:
+    """Every table and figure, rendered; quick mode trims sweep sizes."""
+    return {
+        "table1": render_table1(),
+        "table2": run_table2(quick=quick).rendered,
+        "table3": run_table3(quick=quick).rendered,
+        "table4": run_table4(quick=quick).rendered,
+        "table5": run_table5(quick=quick).rendered,
+        "fig2": run_fig2(quick=quick).rendered,
+        "fig3": run_fig3(quick=quick).rendered,
+        "fig5": run_fig5(quick=quick).rendered,
+        "fig7": run_fig7(quick=quick).rendered,
+    }
+
+
+def main() -> None:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table/figure of the paper")
+    parser.add_argument("--full", action="store_true",
+                        help="full-size sweeps (slower)")
+    parser.add_argument("--only", help="single experiment id, e.g. table5")
+    args = parser.parse_args()
+    results = run_all(quick=not args.full) if args.only is None else {
+        args.only: run_all(quick=not args.full)[args.only]}
+    for name, text in results.items():
+        print(f"\n{'=' * 72}\n{name.upper()}\n{'=' * 72}")
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Backoff n-gram language model.
+
+The fast "real" LM of the repo: trained by counting, evaluated by
+perplexity.  Used for the Fig. 3 scaling-law experiment (loss vs dataset
+size) and the Fig. 7 dataset-mix ablation where hundreds of training runs
+must finish in seconds.
+
+Stupid-backoff scoring (Brants et al. 2007) with add-k smoothing at the
+unigram floor — simple, monotone in data volume, and well-behaved on the
+small vocabularies our tokenizer produces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NGramModel:
+    """Order-``n`` stupid-backoff LM over integer token ids."""
+
+    order: int = 3
+    backoff: float = 0.4
+    add_k: float = 0.01
+    vocab_size: int = 0
+    counts: list[Counter] = field(default_factory=list)      # per order
+    context_totals: list[Counter] = field(default_factory=list)
+    trained_tokens: int = 0
+
+    def __post_init__(self):
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if not self.counts:
+            self.counts = [Counter() for _ in range(self.order)]
+            self.context_totals = [Counter() for _ in range(self.order)]
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, sequences: list[list[int]],
+            vocab_size: int | None = None) -> "NGramModel":
+        """Accumulate counts from token-id sequences (callable repeatedly)."""
+        for sequence in sequences:
+            self.trained_tokens += len(sequence)
+            if vocab_size is None and sequence:
+                self.vocab_size = max(self.vocab_size, max(sequence) + 1)
+            for pos in range(len(sequence)):
+                for k in range(self.order):
+                    if pos - k < 0:
+                        break
+                    context = tuple(sequence[pos - k:pos])
+                    self.counts[k][(context, sequence[pos])] += 1
+                    self.context_totals[k][context] += 1
+        if vocab_size is not None:
+            self.vocab_size = vocab_size
+        return self
+
+    # -- scoring -----------------------------------------------------------
+
+    def prob(self, context: list[int], token: int) -> float:
+        """Stupid-backoff probability of ``token`` after ``context``."""
+        vocab = max(self.vocab_size, 1)
+        for k in range(min(len(context), self.order - 1), -1, -1):
+            ctx = tuple(context[len(context) - k:])
+            total = self.context_totals[k].get(ctx, 0)
+            if total > 0:
+                hits = self.counts[k].get((ctx, token), 0)
+                if hits > 0:
+                    penalty = self.backoff ** (
+                        min(len(context), self.order - 1) - k)
+                    return penalty * hits / total
+        # smoothed unigram floor
+        total = self.context_totals[0].get((), 0)
+        hits = self.counts[0].get(((), token), 0)
+        return (hits + self.add_k) / (total + self.add_k * vocab)
+
+    def logprob(self, sequence: list[int]) -> float:
+        """Natural-log probability of a sequence."""
+        out = 0.0
+        for pos, token in enumerate(sequence):
+            context = sequence[max(0, pos - self.order + 1):pos]
+            out += math.log(max(self.prob(context, token), 1e-12))
+        return out
+
+    def cross_entropy(self, sequences: list[list[int]]) -> float:
+        """Mean negative log-likelihood per token (the Fig. 3 'loss')."""
+        total_logprob = 0.0
+        total_tokens = 0
+        for sequence in sequences:
+            if not sequence:
+                continue
+            total_logprob += self.logprob(sequence)
+            total_tokens += len(sequence)
+        if total_tokens == 0:
+            return float("inf")
+        return -total_logprob / total_tokens
+
+    def perplexity(self, sequences: list[list[int]]) -> float:
+        return math.exp(min(self.cross_entropy(sequences), 50.0))
+
+    # -- generation --------------------------------------------------------
+
+    def generate(self, prefix: list[int], max_tokens: int = 32,
+                 seed: int = 0) -> list[int]:
+        """Greedy-ish sampling (argmax with deterministic tie-break)."""
+        import random
+        rng = random.Random(seed)
+        out = list(prefix)
+        for _ in range(max_tokens):
+            context = tuple(out[-(self.order - 1):]) if self.order > 1 \
+                else ()
+            candidates = None
+            for k in range(len(context), -1, -1):
+                ctx = context[len(context) - k:]
+                total = self.context_totals[k].get(ctx, 0)
+                if total > 0:
+                    candidates = [(tok, cnt) for (c, tok), cnt
+                                  in self.counts[k].items() if c == ctx]
+                    break
+            if not candidates:
+                break
+            tokens, weights = zip(*candidates)
+            out.append(rng.choices(tokens, weights=weights, k=1)[0])
+        return out

@@ -1,0 +1,126 @@
+"""The "existing LLM" (GPT-3.5) stand-in for EDA-script understanding.
+
+Paper Sec. 3.3 observes that a general LLM *cannot generate* valid
+SiliconCompiler scripts but *can describe* them, and uses that asymmetry
+to build the script dataset (Eq. 1: ``GeneralLLM(script) = description``).
+
+:class:`DescriptionOracle` fills GPT-3.5's role offline: it parses the
+Python script with the stdlib ``ast`` module and renders an accurate
+natural-language description of every SiliconCompiler API call it finds.
+Being program analysis, its descriptions are always faithful — exactly the
+property the paper relies on GPT-3.5 for.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+
+
+def _literal(node: python_ast.expr) -> str:
+    try:
+        value = python_ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return python_ast.unparse(node)
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+class DescriptionOracle:
+    """Describe a mini-SiliconCompiler Python script in English."""
+
+    def describe(self, script: str) -> str:
+        try:
+            tree = python_ast.parse(script)
+        except SyntaxError:
+            return ""
+        sentences: list[str] = []
+        chip_vars: set[str] = set()
+        for node in python_ast.walk(tree):
+            if isinstance(node, python_ast.Assign) and \
+                    isinstance(node.value, python_ast.Call):
+                callee = node.value.func
+                if isinstance(callee, python_ast.Name) and \
+                        callee.id == "Chip" or \
+                        isinstance(callee, python_ast.Attribute) and \
+                        callee.attr == "Chip":
+                    design = (_literal(node.value.args[0])
+                              if node.value.args else "'design'")
+                    sentences.append(
+                        f"Create a SiliconCompiler chip object for design "
+                        f"{design}.")
+                    for target in node.targets:
+                        if isinstance(target, python_ast.Name):
+                            chip_vars.add(target.id)
+        for node in python_ast.walk(tree):
+            if not isinstance(node, python_ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, python_ast.Attribute):
+                continue
+            if not (isinstance(func.value, python_ast.Name)
+                    and func.value.id in chip_vars):
+                continue
+            sentence = self._describe_call(func.attr, node)
+            if sentence:
+                sentences.append(sentence)
+        return " ".join(sentences)
+
+    # -- per-method renderers ----------------------------------------------
+
+    def _describe_call(self, method: str, node: python_ast.Call) -> str:
+        args = [_literal(a) for a in node.args]
+        kwargs = {kw.arg: _literal(kw.value) for kw in node.keywords
+                  if kw.arg}
+        if method == "input":
+            return f"Add {args[0]} as a design input source file." \
+                if args else "Add a design input source file."
+        if method == "output":
+            return f"Write outputs to {args[0]}." if args else ""
+        if method == "clock":
+            pin = args[0] if args else kwargs.get("pin", "'clk'")
+            period = kwargs.get("period",
+                                args[1] if len(args) > 1 else "?")
+            return (f"Define the clock on pin {pin} with a period of "
+                    f"{period} nanoseconds.")
+        if method == "load_target":
+            return f"Load the compilation target {args[0]}." if args else ""
+        if method == "set":
+            return self._describe_set(args, kwargs)
+        if method == "add":
+            if len(args) >= 2:
+                return (f"Append {args[-1]} to the "
+                        f"{' / '.join(args[:-1])} parameter list.")
+            return ""
+        if method == "run":
+            return "Run the compilation flow."
+        if method == "summary":
+            return "Print the post-run summary with the PPA report."
+        if method == "write_manifest":
+            return "Write the manifest file."
+        return ""
+
+    @staticmethod
+    def _describe_set(args: list[str], kwargs: dict[str, str]) -> str:
+        if len(args) < 2:
+            return ""
+        *keypath, value = args
+        path = " / ".join(part.strip("'\"") for part in keypath)
+        table = {
+            "design": f"Set the design name to {value}.",
+            "option / frontend": f"Select the {value} front end.",
+            "asic / diearea": f"Set the die area to {value}.",
+            "asic / corearea": f"Set the core area to {value}.",
+            "constraint / outline": f"Set the floorplan outline to {value}.",
+            "constraint / coremargin":
+                f"Set the core margin to {value} microns.",
+            "constraint / density":
+                f"Set the placement density target to {value} percent.",
+            "constraint / aspectratio":
+                f"Set the floorplan aspect ratio to {value}.",
+            "option / relax": f"Set relaxed checking to {value}.",
+            "option / quiet": f"Set quiet mode to {value}.",
+            "option / jobname": f"Name the job {value}.",
+            "clock / period": f"Set the clock period to {value}.",
+        }
+        if path in table:
+            return table[path]
+        return f"Set parameter {path} to {value}."

@@ -1,0 +1,68 @@
+"""Progressive training schedule (paper Sec. 3.1).
+
+"Our augmentation framework first exposes the model to larger quantities
+of less refined data to expand its initial knowledge base. This is
+followed by a second stage involving higher quality, more precisely
+targeted samples."
+
+Stage 1 = the bulk completion data (word/statement/module level + masked
+repair); stage 2 = the precisely aligned data (NL↔Verilog, debug pairs
+with tool feedback, EDA scripts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.records import Dataset, Task
+from .tiny_transformer import TinyTransformerLM
+from .tokenizer import Tokenizer
+from .trainer import (TrainResult, TransformerTrainConfig,
+                      train_transformer)
+
+STAGE1_TASKS = frozenset({
+    Task.WORD_COMPLETION, Task.STATEMENT_COMPLETION,
+    Task.MODULE_COMPLETION, Task.MASK_COMPLETION,
+})
+STAGE2_TASKS = frozenset({
+    Task.NL_VERILOG, Task.DEBUG, Task.EDA_SCRIPT,
+})
+
+
+def progressive_stages(dataset: Dataset) -> list[tuple[str, Dataset]]:
+    """Split a mixed dataset into the paper's two training stages."""
+    stage1 = Dataset(records=[r for r in dataset
+                              if r.task in STAGE1_TASKS])
+    stage2 = Dataset(records=[r for r in dataset
+                              if r.task in STAGE2_TASKS])
+    return [("stage1-completion", stage1), ("stage2-aligned", stage2)]
+
+
+@dataclass
+class ProgressiveResult:
+    """Per-stage loss trajectories."""
+
+    stages: dict[str, TrainResult] = field(default_factory=dict)
+
+    @property
+    def final_loss(self) -> float:
+        last = list(self.stages.values())[-1]
+        return last.final_loss
+
+
+def train_progressive(model: TinyTransformerLM, dataset: Dataset,
+                      val_set: Dataset, tokenizer: Tokenizer,
+                      config: TransformerTrainConfig | None = None
+                      ) -> ProgressiveResult:
+    """Run the two-stage schedule on the transformer.
+
+    The recency effect the paper cites (models weight recent examples)
+    is why the aligned data comes *last*.
+    """
+    result = ProgressiveResult()
+    for name, stage_set in progressive_stages(dataset):
+        if not len(stage_set):
+            continue
+        result.stages[name] = train_transformer(
+            model, stage_set, val_set, tokenizer, config)
+    return result

@@ -1,0 +1,28 @@
+"""Model registry: one place to look up behavioural models by name."""
+
+from __future__ import annotations
+
+from .behavioral import PROFILES, BehavioralModel, ModelProfile
+
+#: Column order used by the Table-5 / Table-3 / Table-4 renderers.
+TABLE5_MODEL_ORDER = ("gpt-3.5", "ours-7b", "ours-13b", "thakur",
+                      "llama2-13b", "llama2-general-aug")
+TABLE3_MODEL_ORDER = ("ours-13b", "ours-7b", "gpt-3.5", "llama2-13b")
+TABLE4_MODEL_ORDER = ("gpt-3.5", "thakur", "ours-7b", "llama2-13b",
+                      "ours-13b")
+
+
+def available_models() -> tuple[str, ...]:
+    return tuple(sorted(PROFILES))
+
+
+def get_profile(name: str) -> ModelProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown model '{name}'; available: "
+                       f"{', '.join(available_models())}") from None
+
+
+def get_model(name: str, seed: int = 0) -> BehavioralModel:
+    return BehavioralModel(get_profile(name), seed=seed)

@@ -1,0 +1,100 @@
+"""Word-piece-ish tokenizer for the Verilog + English training corpus.
+
+A deliberately small design: the vocabulary is built from training text by
+frequency, words below the cut-off back off to character tokens.  This is
+enough for the two *real* language models in this repo (the backoff n-gram
+and the numpy transformer) whose job is to demonstrate the paper's
+data-side claims (Fig. 3 scaling law, Fig. 7 ablation), not to rival
+Llama-2.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+PAD, UNK, BOS, EOS = "<pad>", "<unk>", "<bos>", "<eos>"
+_SPECIALS = (PAD, UNK, BOS, EOS)
+
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+|'[bodhBODH]|\S")
+
+
+def pretokenize(text: str) -> list[str]:
+    """Split into word/number/punct pieces (Verilog-friendly)."""
+    return _WORD_RE.findall(text)
+
+
+@dataclass
+class Tokenizer:
+    """Frequency-based vocabulary with character back-off."""
+
+    vocab: dict[str, int] = field(default_factory=dict)
+    inverse: list[str] = field(default_factory=list)
+
+    @staticmethod
+    def train(texts: list[str], vocab_size: int = 2048) -> "Tokenizer":
+        counts: Counter[str] = Counter()
+        chars: Counter[str] = Counter()
+        for text in texts:
+            for piece in pretokenize(text):
+                counts[piece] += 1
+                chars.update(piece)
+        tokenizer = Tokenizer()
+        for special in _SPECIALS:
+            tokenizer._add(special)
+        for ch, _ in chars.most_common():
+            tokenizer._add(ch)
+        budget = vocab_size - len(tokenizer.vocab)
+        for piece, _ in counts.most_common():
+            if budget <= 0:
+                break
+            if piece not in tokenizer.vocab:
+                tokenizer._add(piece)
+                budget -= 1
+        return tokenizer
+
+    def _add(self, piece: str) -> None:
+        if piece not in self.vocab:
+            self.vocab[piece] = len(self.inverse)
+            self.inverse.append(piece)
+
+    def __len__(self) -> int:
+        return len(self.inverse)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self.vocab[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self.vocab[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self.vocab[UNK]
+
+    def encode(self, text: str, add_special: bool = False) -> list[int]:
+        ids: list[int] = []
+        if add_special:
+            ids.append(self.bos_id)
+        for piece in pretokenize(text):
+            token_id = self.vocab.get(piece)
+            if token_id is not None:
+                ids.append(token_id)
+                continue
+            for ch in piece:           # character back-off
+                ids.append(self.vocab.get(ch, self.unk_id))
+        if add_special:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        pieces = [self.inverse[i] for i in ids
+                  if 0 <= i < len(self.inverse)
+                  and self.inverse[i] not in _SPECIALS]
+        return " ".join(pieces)

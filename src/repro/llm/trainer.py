@@ -1,0 +1,180 @@
+"""Training loops connecting the augmentation datasets to the real LMs.
+
+* ``records_to_text`` serialises instruction records the way the paper's
+  finetuning does (instruct + input + output in one context window);
+* ``train_ngram`` / ``train_transformer`` fit the two real models;
+* ``scaling_curve`` reproduces Fig. 3's loss-vs-data-size trend;
+* ``TrainResult.final_loss`` is the quantity the ablation (Fig. 7) and
+  scaling experiments compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.records import Dataset, Record
+from .ngram import NGramModel
+from .tiny_transformer import Adam, TinyTransformerLM, TransformerConfig
+from .tokenizer import Tokenizer
+
+
+def record_to_text(record: Record) -> str:
+    """One training document per record, paper's three-field layout."""
+    return (f"### instruct: {record.instruct}\n"
+            f"### input: {record.input}\n"
+            f"### output: {record.output}")
+
+
+def records_to_text(dataset: Dataset) -> list[str]:
+    return [record_to_text(record) for record in dataset]
+
+
+def split_dataset(dataset: Dataset, val_fraction: float = 0.1,
+                  seed: int = 0) -> tuple[Dataset, Dataset]:
+    """Deterministic train/validation split."""
+    import random
+    records = list(dataset)
+    random.Random(seed).shuffle(records)
+    cut = max(1, int(len(records) * (1 - val_fraction)))
+    return Dataset(records=records[:cut]), Dataset(records=records[cut:])
+
+
+@dataclass
+class TrainResult:
+    """Loss trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    trained_tokens: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if self.val_losses:
+            return self.val_losses[-1]
+        return self.losses[-1] if self.losses else float("inf")
+
+
+# --------------------------------------------------------------------------
+# n-gram path (fast — used by Fig. 3 / Fig. 7 benches)
+# --------------------------------------------------------------------------
+
+def train_ngram(train_set: Dataset, val_set: Dataset,
+                tokenizer: Tokenizer | None = None,
+                order: int = 3) -> tuple[NGramModel, TrainResult, Tokenizer]:
+    """Fit a backoff n-gram on the dataset; loss = validation NLL/token."""
+    texts = records_to_text(train_set)
+    if tokenizer is None:
+        tokenizer = Tokenizer.train(texts)
+    sequences = [tokenizer.encode(text, add_special=True) for text in texts]
+    model = NGramModel(order=order)
+    model.fit(sequences, vocab_size=len(tokenizer))
+    val_sequences = [tokenizer.encode(text, add_special=True)
+                     for text in records_to_text(val_set)]
+    result = TrainResult(trained_tokens=model.trained_tokens)
+    result.val_losses.append(model.cross_entropy(val_sequences))
+    return model, result, tokenizer
+
+
+# --------------------------------------------------------------------------
+# transformer path (slower — quickstart/example scale)
+# --------------------------------------------------------------------------
+
+@dataclass
+class TransformerTrainConfig:
+    epochs: int = 3
+    batch_size: int = 8
+    seq_len: int = 64
+    lr: float = 3e-3
+    seed: int = 0
+    max_batches_per_epoch: int | None = None
+
+
+def _batches(sequences: list[list[int]], pad_id: int, seq_len: int,
+             batch_size: int, seed: int):
+    """Yield (ids, targets) next-token batches; targets −1 where padded."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(sequences))
+    batch_ids, batch_targets = [], []
+    for index in order:
+        sequence = sequences[index][:seq_len + 1]
+        if len(sequence) < 2:
+            continue
+        ids = sequence[:-1]
+        targets = sequence[1:]
+        pad = seq_len - len(ids)
+        batch_ids.append(ids + [pad_id] * pad)
+        batch_targets.append(targets + [-1] * pad)
+        if len(batch_ids) == batch_size:
+            yield np.array(batch_ids), np.array(batch_targets)
+            batch_ids, batch_targets = [], []
+    if batch_ids:
+        yield np.array(batch_ids), np.array(batch_targets)
+
+
+def train_transformer(model: TinyTransformerLM, train_set: Dataset,
+                      val_set: Dataset, tokenizer: Tokenizer,
+                      config: TransformerTrainConfig | None = None
+                      ) -> TrainResult:
+    """Gradient-descent finetuning (full or LoRA, per model's freeze state)."""
+    config = config or TransformerTrainConfig()
+    optimizer = Adam(model.params(), lr=config.lr)
+    train_sequences = [tokenizer.encode(text, add_special=True)
+                       for text in records_to_text(train_set)]
+    val_sequences = [tokenizer.encode(text, add_special=True)
+                     for text in records_to_text(val_set)]
+    result = TrainResult(
+        trained_tokens=sum(len(s) for s in train_sequences))
+    for epoch in range(config.epochs):
+        batch_count = 0
+        for ids, targets in _batches(train_sequences, tokenizer.pad_id,
+                                     config.seq_len, config.batch_size,
+                                     config.seed + epoch):
+            optimizer.zero_grad()
+            loss = model.loss_and_backward(ids, targets)
+            optimizer.step()
+            result.losses.append(loss)
+            batch_count += 1
+            if config.max_batches_per_epoch is not None and \
+                    batch_count >= config.max_batches_per_epoch:
+                break
+        result.val_losses.append(
+            evaluate_transformer(model, val_sequences, tokenizer.pad_id,
+                                 config.seq_len))
+    return result
+
+
+def evaluate_transformer(model: TinyTransformerLM,
+                         sequences: list[list[int]], pad_id: int,
+                         seq_len: int) -> float:
+    losses = []
+    for ids, targets in _batches(sequences, pad_id, seq_len, 8, seed=0):
+        losses.append(model.evaluate_loss(ids, targets))
+    return float(np.mean(losses)) if losses else float("inf")
+
+
+# --------------------------------------------------------------------------
+# Fig. 3: scaling law
+# --------------------------------------------------------------------------
+
+def scaling_curve(dataset: Dataset, fractions: list[float],
+                  seed: int = 0, order: int = 3
+                  ) -> list[tuple[int, float]]:
+    """(train tokens, val loss) at growing dataset fractions (n-gram).
+
+    A shared validation split and tokenizer keep the points comparable;
+    the paper's Fig. 3 claim is that loss decreases monotonically-ish as
+    data volume grows.
+    """
+    train_all, val = split_dataset(dataset, val_fraction=0.15, seed=seed)
+    texts = records_to_text(train_all)
+    tokenizer = Tokenizer.train(texts)
+    points: list[tuple[int, float]] = []
+    for fraction in fractions:
+        count = max(1, int(len(train_all.records) * fraction))
+        subset = Dataset(records=train_all.records[:count])
+        model, result, _ = train_ngram(subset, val, tokenizer=tokenizer,
+                                       order=order)
+        points.append((result.trained_tokens, result.final_loss))
+    return points

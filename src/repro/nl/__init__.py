@@ -1,0 +1,16 @@
+"""AST → natural language translation (paper Sec. 3.1.2, Fig. 5).
+
+``describe_module`` compiles each syntax node of a parsed Verilog module to
+an English sentence via the registered program-analysis rules; the result
+is the aligned natural-language half of the Verilog-generation dataset.
+"""
+
+from .generator import (ModuleDescription, available_rules, describe_module,
+                        describe_source)
+from .rules import RULE_ORDER, DescriptionLine, Ruleset, describe_statement
+
+__all__ = [
+    "describe_module", "describe_source", "ModuleDescription",
+    "available_rules", "Ruleset", "RULE_ORDER", "DescriptionLine",
+    "describe_statement",
+]

@@ -1,0 +1,87 @@
+"""Text templates for the AST→natural-language rules.
+
+The phrasings follow the paper's Fig. 5 case study verbatim where it shows
+them (module/port/variable/trigger-block sentences) and extend the same
+style to the remaining constructs (assignments, case, loops, instances).
+"""
+
+from __future__ import annotations
+
+#: number words for small counts, as used in the paper's example output
+#: ("module <counter> has <four> ports").
+_NUMBER_WORDS = (
+    "zero", "one", "two", "three", "four", "five", "six", "seven",
+    "eight", "nine", "ten", "eleven", "twelve",
+)
+
+_ORDINAL_WORDS = (
+    "zeroth", "first", "second", "third", "fourth", "fifth", "sixth",
+    "seventh", "eighth", "ninth", "tenth",
+)
+
+
+def number_word(count: int) -> str:
+    """``4`` → ``"four"`` (falls back to digits for large counts)."""
+    if 0 <= count < len(_NUMBER_WORDS):
+        return _NUMBER_WORDS[count]
+    return str(count)
+
+
+def ordinal_word(index: int) -> str:
+    """``1`` → ``"first"`` (1-based, falls back to ``"3th"`` style)."""
+    if 0 <= index < len(_ORDINAL_WORDS):
+        return _ORDINAL_WORDS[index]
+    return f"{index}th"
+
+
+def join_names(names: list[str]) -> str:
+    """``[a, b, c]`` → ``"a, b and c"`` (paper: "clk, rst, en and count")."""
+    if not names:
+        return ""
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + " and " + names[-1]
+
+
+MODULE_PORTS = ("module <{name}> has <{count}> ports, their names are "
+                "<{names}>.")
+MODULE_NO_PORTS = "module <{name}> has no ports."
+INPUT_LIST = "In the <{count}> ports, <{names}> are inputs."
+INPUT_WIDTH = "<{name}> has <{width}>-bit width."
+OUTPUT_SIGNAL = ("<Output> signal <{name}> has <{width}>-bit width in range "
+                 "<{range}>. It is a <{kind}> variable.")
+OUTPUT_SIGNAL_SCALAR = ("<Output> signal <{name}> has <1>-bit width. "
+                        "It is a <{kind}> variable.")
+INOUT_SIGNAL = "<Inout> signal <{name}> has <{width}>-bit width."
+VARIABLE_DECL = ("Signal <{name}> has <{width}>-bit width in range "
+                 "<{range}>. It is a <{kind}> variable.")
+VARIABLE_DECL_SCALAR = "Signal <{name}> is a <1>-bit <{kind}> variable."
+MEMORY_DECL = ("Signal <{name}> is a memory of <{depth}> entries, each "
+               "<{width}>-bit wide. It is a <{kind}> array.")
+PARAMETER_DECL = "The {kind} <{name}> has default value <{value}>."
+TRIGGER_COUNT = "This module has <{count}> trigger {block_word}."
+TRIGGER_SENS_EDGE = ("The sensitive list in <{ordinal}> trigger block is "
+                     "<on the {edge} edge> of <{signals}>.")
+TRIGGER_SENS_LEVEL = ("The sensitive list in <{ordinal}> trigger block is "
+                      "<level-sensitive> to <{signals}>.")
+TRIGGER_SENS_STAR = ("The <{ordinal}> trigger block is combinational and "
+                     "reacts to any of its inputs.")
+CONTINUOUS_ASSIGN = "The module continuously assigns <{rhs}> to <{lhs}>."
+IF_ASSIGN = ("In this <always> block, <if> <{cond}> is 1, then {then_part}, "
+             "else {else_part}.")
+IF_NO_ELSE = "In this <always> block, <if> <{cond}> is 1, then {then_part}."
+CASE_INTRO = ("In this <always> block, a <{kind}> statement selects on "
+              "<{selector}> with <{count}> branches: {branches}.")
+CASE_BRANCH = "when <{label}> then {action}"
+CASE_DEFAULT = "by default {action}"
+FOR_LOOP = ("a loop over <{var}> from <{init}> while <{cond}> stepping "
+            "<{step}> that repeats {body}")
+SET_ACTION = "{verb} <{target}> to <{value}>"
+ADD_ACTION = "<add> <{amount}> to the {target}"
+SUB_ACTION = "<subtract> <{amount}> from the {target}"
+SHIFT_ACTION = "shift <{target}> {direction} inserting <{value}>"
+INSTANCE_DECL = ("The module instantiates <{module}> as <{instance}> "
+                 "connecting {connections}.")
+INITIAL_BLOCK = "An initial block sets up: {actions}."
+FUNCTION_DECL = ("The module defines a function <{name}> returning "
+                 "<{width}> bits.")

@@ -1,0 +1,24 @@
+"""Event-driven Verilog simulator (the paper's VCS substitute).
+
+Public API:
+
+* :func:`run_simulation` — parse + elaborate + simulate a source string;
+* :func:`run_testbench` — simulate design + self-checking testbench and
+  count PASS/FAIL vectors;
+* :class:`Value` — four-state bit-vector values;
+* :func:`elaborate` / :class:`Simulator` — the lower-level pieces.
+"""
+
+from .elaborate import Design, ElaborationError, Signal, elaborate
+from .engine import SimulationError, SimulationTimeout, Simulator
+from .testbench import (SimResult, TestbenchVerdict, find_top,
+                        run_simulation, run_testbench)
+from .values import Value, from_literal
+from .vcd import Tracer
+
+__all__ = [
+    "Value", "from_literal", "elaborate", "Design", "Signal",
+    "Simulator", "SimulationError", "SimulationTimeout",
+    "ElaborationError", "run_simulation", "run_testbench", "find_top",
+    "SimResult", "TestbenchVerdict", "Tracer",
+]

@@ -1,0 +1,122 @@
+"""High-level simulation entry points (the `vcs && ./simv` equivalent).
+
+The benchmark suites use self-checking testbenches that print
+``PASS``/``FAIL`` lines and call ``$finish``; :func:`run_testbench` runs one
+and summarises the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..verilog import ast, parse
+from ..verilog.errors import VerilogError
+from .elaborate import elaborate
+from .engine import SimulationError, Simulator
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    ok: bool                       # simulated without tool errors
+    finished: bool = False         # reached $finish
+    time: int = 0
+    display: list[str] = field(default_factory=list)
+    error: str | None = None
+    vcd: str | None = None         # VCD text when tracing was on
+
+    @property
+    def output(self) -> str:
+        return "\n".join(self.display)
+
+
+@dataclass
+class TestbenchVerdict:
+    """PASS/FAIL accounting extracted from a self-checking testbench."""
+
+    ok: bool                       # ran to completion
+    passed: int = 0
+    failed: int = 0
+    error: str | None = None
+
+    @property
+    def all_passed(self) -> bool:
+        return self.ok and self.failed == 0 and self.passed > 0
+
+    @property
+    def pass_fraction(self) -> float:
+        total = self.passed + self.failed
+        if not self.ok or total == 0:
+            return 0.0
+        return self.passed / total
+
+
+def find_top(source: ast.SourceFile) -> str:
+    """Choose the root module: not instantiated anywhere, tb-names first."""
+    instantiated: set[str] = set()
+    for module in source.modules:
+        for item in module.items_of_type(ast.Instantiation):
+            instantiated.add(item.module)
+    roots = [m.name for m in source.modules if m.name not in instantiated]
+    if not roots:
+        roots = [m.name for m in source.modules]
+    for name in roots:
+        lowered = name.lower()
+        if lowered.startswith(("tb", "testbench", "test_")) or \
+                lowered.endswith(("_tb", "_testbench", "_test")):
+            return name
+    return roots[0]
+
+
+def run_simulation(source_text: str, top: str | None = None,
+                   max_time: int = 2_000_000,
+                   filename: str = "<sim>",
+                   trace: bool = False) -> SimResult:
+    """Parse, elaborate and simulate; never raises on design errors.
+
+    With ``trace=True`` (or when the testbench calls
+    ``$dumpfile``/``$dumpvars``) the result carries the VCD text.
+    """
+    try:
+        source = parse(source_text, filename)
+        top_name = top or find_top(source)
+        design = elaborate(source, top_name)
+        simulator = Simulator(design)
+        if trace:
+            simulator.enable_tracing()
+        simulator.run(max_time=max_time)
+    except (VerilogError, SimulationError) as exc:
+        return SimResult(ok=False, error=str(exc))
+    except RecursionError:
+        return SimResult(ok=False, error="elaboration recursion overflow")
+    vcd_text = simulator.tracer.to_vcd() if simulator.tracer else None
+    return SimResult(ok=True, finished=simulator.finished,
+                     time=simulator.time, display=simulator.display_lines,
+                     vcd=vcd_text)
+
+
+def run_testbench(design_text: str, testbench_text: str,
+                  top: str | None = None,
+                  max_time: int = 2_000_000) -> TestbenchVerdict:
+    """Simulate design+testbench and count PASS/FAIL lines.
+
+    A testbench reports vectors via ``$display``; any line containing
+    ``FAIL``/``ERROR`` (or ``MISMATCH``) counts as a failed check, any line
+    containing ``PASS``/``OK`` as a passed one.
+    """
+    result = run_simulation(design_text + "\n" + testbench_text, top=top,
+                            max_time=max_time)
+    if not result.ok:
+        return TestbenchVerdict(ok=False, error=result.error)
+    passed = failed = 0
+    for line in result.display:
+        upper = line.upper()
+        if "FAIL" in upper or "MISMATCH" in upper or "ERROR" in upper:
+            failed += 1
+        elif "PASS" in upper or " OK" in upper or upper.startswith("OK"):
+            passed += 1
+    if not result.finished and passed + failed == 0:
+        return TestbenchVerdict(ok=False,
+                                error="testbench did not reach $finish")
+    return TestbenchVerdict(ok=True, passed=passed, failed=failed)

@@ -1,0 +1,416 @@
+"""Four-state bit-vector values for the Verilog simulator.
+
+A :class:`Value` is a fixed-width vector where every bit is 0, 1 or unknown
+(``x``/``z`` are conflated into a single *unknown* state — enough for the
+RTL subset our benchmarks exercise).  Representation: ``val`` holds the
+known bit pattern, ``xz`` is a mask with 1 for every unknown bit.  Bits of
+``val`` under the ``xz`` mask are kept at 0 so equal values compare equal.
+
+Semantics follow IEEE 1364 pragmatically:
+
+* bitwise ops propagate unknowns per-bit with dominance (``0 & x = 0``,
+  ``1 | x = 1``);
+* arithmetic / relational ops with any unknown operand bit yield an
+  all-unknown result (what commercial simulators do);
+* assignments truncate or zero-extend to the target width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class Value:
+    """Fixed-width four-state vector."""
+
+    width: int
+    val: int
+    xz: int = 0
+
+    def __post_init__(self):
+        mask = _mask(self.width)
+        object.__setattr__(self, "xz", self.xz & mask)
+        # Keep unknown bits of val at zero so (val, xz) is canonical.
+        object.__setattr__(self, "val", self.val & mask & ~self.xz)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def of(value: int, width: int) -> Value:
+        """A fully-known value (two's complement wrap into ``width`` bits)."""
+        return Value(width=width, val=value & _mask(width))
+
+    @staticmethod
+    def unknown(width: int) -> Value:
+        """All bits unknown (the power-up state of a reg)."""
+        return Value(width=width, val=0, xz=_mask(width))
+
+    # -- predicates ------------------------------------------------------
+
+    @property
+    def has_unknown(self) -> bool:
+        return self.xz != 0
+
+    @property
+    def is_true(self) -> bool:
+        """Verilog truthiness: any known 1 bit (x-only vectors are false)."""
+        return self.val != 0
+
+    @property
+    def is_definite_zero(self) -> bool:
+        return self.val == 0 and self.xz == 0
+
+    def bit(self, index: int) -> str:
+        """Return '0', '1' or 'x' for bit ``index`` (out of range → 'x')."""
+        if index < 0 or index >= self.width:
+            return "x"
+        if (self.xz >> index) & 1:
+            return "x"
+        return "1" if (self.val >> index) & 1 else "0"
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_int(self, signed: bool = False) -> int:
+        """Interpret the known bits as an integer (unknown bits read as 0)."""
+        if signed and self.width > 0 and (self.val >> (self.width - 1)) & 1:
+            return self.val - (1 << self.width)
+        return self.val
+
+    def resized(self, width: int, signed: bool = False) -> Value:
+        """Truncate or extend to ``width`` (sign-extends when ``signed``)."""
+        if width == self.width:
+            return self
+        if width < self.width:
+            return Value(width=width, val=self.val, xz=self.xz)
+        if self.width == 0:
+            return Value.unknown(width)
+        top = self.width - 1
+        extend_x = (self.xz >> top) & 1
+        extend_v = (self.val >> top) & 1 if signed else 0
+        ext_mask = _mask(width) ^ _mask(self.width)
+        val = self.val | (ext_mask if (signed and extend_v and not extend_x)
+                          else 0)
+        xz = self.xz | (ext_mask if (signed and extend_x) else 0)
+        return Value(width=width, val=val, xz=xz)
+
+    def __str__(self) -> str:
+        bits = "".join(self.bit(i) for i in reversed(range(self.width)))
+        return f"{self.width}'b{bits}" if self.width else "0'b"
+
+    # -- bit access ------------------------------------------------------
+
+    def select_bit(self, index: Value | int) -> Value:
+        if isinstance(index, Value):
+            if index.has_unknown:
+                return Value.unknown(1)
+            index = index.to_int()
+        if index < 0 or index >= self.width:
+            return Value.unknown(1)
+        return Value(width=1, val=(self.val >> index) & 1,
+                     xz=(self.xz >> index) & 1)
+
+    def select_range(self, msb: int, lsb: int) -> Value:
+        """Select bits [msb:lsb] (already normalised to 0-based offsets)."""
+        if lsb > msb:
+            msb, lsb = lsb, msb
+        width = msb - lsb + 1
+        if lsb >= self.width:
+            return Value.unknown(width)
+        return Value(width=width, val=self.val >> lsb, xz=self.xz >> lsb) \
+            if msb < self.width else \
+            concat([Value.unknown(msb - self.width + 1),
+                    Value(width=self.width - lsb, val=self.val >> lsb,
+                          xz=self.xz >> lsb)])
+
+    def with_bits(self, msb: int, lsb: int, new: Value) -> Value:
+        """Return a copy with bits [msb:lsb] replaced by ``new``."""
+        if lsb > msb:
+            msb, lsb = lsb, msb
+        field_width = msb - lsb + 1
+        new = new.resized(field_width)
+        keep = _mask(self.width) & ~(_mask(field_width) << lsb)
+        val = (self.val & keep) | ((new.val << lsb) & _mask(self.width))
+        xz = (self.xz & keep) | ((new.xz << lsb) & _mask(self.width))
+        return Value(width=self.width, val=val, xz=xz)
+
+
+# --------------------------------------------------------------------------
+# Literal parsing
+# --------------------------------------------------------------------------
+
+_BASE_BITS = {"b": 1, "o": 3, "h": 4}
+
+
+def from_literal(text: str) -> Value:
+    """Build a Value from Verilog literal text (``8'hFF``, ``'b1x0``, ``42``).
+
+    Unsized literals get the Verilog default width of 32.
+    """
+    text = text.replace("_", "")
+    if "'" not in text:
+        return Value.of(int(text), 32)
+    size_part, rest = text.split("'", 1)
+    rest = rest.strip()
+    if rest[:1] in ("s", "S"):
+        rest = rest[1:]
+    base = rest[0].lower()
+    digits = rest[1:].strip()
+    if base == "d":
+        digits_clean = digits.replace("?", "x")
+        if set(digits_clean.lower()) & {"x", "z"}:
+            width = int(size_part) if size_part else 32
+            return Value.unknown(width)
+        value = int(digits_clean)
+        width = int(size_part) if size_part else 32
+        return Value.of(value, width)
+    bits_per_digit = _BASE_BITS[base]
+    val = 0
+    xz = 0
+    for ch in digits.lower():
+        val <<= bits_per_digit
+        xz <<= bits_per_digit
+        if ch in ("x", "z", "?"):
+            xz |= _mask(bits_per_digit)
+        else:
+            val |= int(ch, 16)
+    width = int(size_part) if size_part else max(len(digits) * bits_per_digit,
+                                                 1)
+    return Value(width=width, val=val, xz=xz)
+
+
+# --------------------------------------------------------------------------
+# Operators
+# --------------------------------------------------------------------------
+
+def _arith_width(a: Value, b: Value) -> int:
+    return max(a.width, b.width)
+
+
+def _all_unknown_if(a: Value, b: Value, width: int) -> Value | None:
+    if a.has_unknown or b.has_unknown:
+        return Value.unknown(width)
+    return None
+
+
+def add(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    unknown = _all_unknown_if(a, b, width)
+    return unknown or Value.of(a.val + b.val, width)
+
+
+def sub(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    unknown = _all_unknown_if(a, b, width)
+    return unknown or Value.of(a.val - b.val, width)
+
+
+def mul(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    unknown = _all_unknown_if(a, b, width)
+    return unknown or Value.of(a.val * b.val, width)
+
+
+def div(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    if a.has_unknown or b.has_unknown or b.val == 0:
+        return Value.unknown(width)
+    return Value.of(a.val // b.val, width)
+
+
+def mod(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    if a.has_unknown or b.has_unknown or b.val == 0:
+        return Value.unknown(width)
+    return Value.of(a.val % b.val, width)
+
+
+def power(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    unknown = _all_unknown_if(a, b, width)
+    if unknown:
+        return unknown
+    return Value.of(pow(a.val, b.val, 1 << width), width)
+
+
+def bit_and(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    a, b = a.resized(width), b.resized(width)
+    # x & 0 = 0 ; x & 1 = x ; x & x = x
+    known_zero = (~a.val & ~a.xz) | (~b.val & ~b.xz)
+    xz = (a.xz | b.xz) & ~known_zero
+    return Value(width=width, val=a.val & b.val, xz=xz)
+
+
+def bit_or(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    a, b = a.resized(width), b.resized(width)
+    known_one = a.val | b.val
+    xz = (a.xz | b.xz) & ~known_one
+    return Value(width=width, val=known_one & ~xz, xz=xz)
+
+
+def bit_xor(a: Value, b: Value) -> Value:
+    width = _arith_width(a, b)
+    a, b = a.resized(width), b.resized(width)
+    xz = a.xz | b.xz
+    return Value(width=width, val=(a.val ^ b.val) & ~xz, xz=xz)
+
+
+def bit_xnor(a: Value, b: Value) -> Value:
+    return bit_not(bit_xor(a, b))
+
+
+def bit_not(a: Value) -> Value:
+    return Value(width=a.width, val=~a.val & _mask(a.width) & ~a.xz,
+                 xz=a.xz)
+
+
+def logic_not(a: Value) -> Value:
+    if a.val != 0:
+        return Value.of(0, 1)
+    if a.has_unknown:
+        return Value.unknown(1)
+    return Value.of(1, 1)
+
+
+def logic_and(a: Value, b: Value) -> Value:
+    a_true, b_true = a.val != 0, b.val != 0
+    if a_true and b_true:
+        return Value.of(1, 1)
+    a_false = a.val == 0 and not a.has_unknown
+    b_false = b.val == 0 and not b.has_unknown
+    if a_false or b_false:
+        return Value.of(0, 1)
+    return Value.unknown(1)
+
+
+def logic_or(a: Value, b: Value) -> Value:
+    if a.val != 0 or b.val != 0:
+        return Value.of(1, 1)
+    if a.has_unknown or b.has_unknown:
+        return Value.unknown(1)
+    return Value.of(0, 1)
+
+
+def _bool_value(result: bool) -> Value:
+    return Value.of(1 if result else 0, 1)
+
+
+def compare(op: str, a: Value, b: Value, signed: bool = False) -> Value:
+    """Relational / equality comparison; returns a 1-bit value."""
+    if op in ("===", "!=="):
+        same = (a.resized(_arith_width(a, b)).val ==
+                b.resized(_arith_width(a, b)).val and
+                a.resized(_arith_width(a, b)).xz ==
+                b.resized(_arith_width(a, b)).xz)
+        return _bool_value(same if op == "===" else not same)
+    if a.has_unknown or b.has_unknown:
+        return Value.unknown(1)
+    width = _arith_width(a, b)
+    lhs = a.resized(width, signed).to_int(signed)
+    rhs = b.resized(width, signed).to_int(signed)
+    table = {
+        "==": lhs == rhs, "!=": lhs != rhs,
+        "<": lhs < rhs, "<=": lhs <= rhs,
+        ">": lhs > rhs, ">=": lhs >= rhs,
+    }
+    return _bool_value(table[op])
+
+
+def shift_left(a: Value, amount: Value) -> Value:
+    if amount.has_unknown:
+        return Value.unknown(a.width)
+    sh = amount.to_int()
+    return Value(width=a.width, val=(a.val << sh) & _mask(a.width),
+                 xz=(a.xz << sh) & _mask(a.width))
+
+
+def shift_right(a: Value, amount: Value, arithmetic: bool = False,
+                signed: bool = False) -> Value:
+    if amount.has_unknown:
+        return Value.unknown(a.width)
+    sh = amount.to_int()
+    if sh >= a.width:
+        if arithmetic and signed:
+            top = a.bit(a.width - 1)
+            if top == "x":
+                return Value.unknown(a.width)
+            return Value.of(-1 if top == "1" else 0, a.width)
+        return Value.of(0, a.width)
+    val = a.val >> sh
+    xz = a.xz >> sh
+    if arithmetic and signed:
+        top = a.bit(a.width - 1)
+        fill = _mask(a.width) ^ _mask(a.width - sh)
+        if top == "1":
+            val |= fill
+        elif top == "x":
+            xz |= fill
+    return Value(width=a.width, val=val, xz=xz)
+
+
+def reduce_op(op: str, a: Value) -> Value:
+    """Reduction operators: & ~& | ~| ^ ~^."""
+    if op in ("&", "~&"):
+        zero_known = (a.val | a.xz) != _mask(a.width)
+        if zero_known:
+            result: Value = Value.of(0, 1)
+        elif a.has_unknown:
+            result = Value.unknown(1)
+        else:
+            result = Value.of(1, 1)
+    elif op in ("|", "~|"):
+        if a.val != 0:
+            result = Value.of(1, 1)
+        elif a.has_unknown:
+            result = Value.unknown(1)
+        else:
+            result = Value.of(0, 1)
+    else:  # ^ ~^ ^~
+        if a.has_unknown:
+            result = Value.unknown(1)
+        else:
+            result = Value.of(bin(a.val).count("1") & 1, 1)
+    if op in ("~&", "~|", "~^", "^~"):
+        result = bit_not(result)
+    return result
+
+
+def concat(parts: list[Value]) -> Value:
+    """Concatenate MSB-first (Verilog ``{a, b}`` order)."""
+    width = sum(p.width for p in parts)
+    val = 0
+    xz = 0
+    for part in parts:
+        val = (val << part.width) | part.val
+        xz = (xz << part.width) | part.xz
+    return Value(width=width, val=val, xz=xz)
+
+
+def replicate(count: int, value: Value) -> Value:
+    return concat([value] * count)
+
+
+def format_value(value: Value, spec: str) -> str:
+    """Render for $display: spec is one of d, b, h, o (with optional 0)."""
+    kind = spec[-1].lower()
+    if kind == "b":
+        return "".join(value.bit(i) for i in reversed(range(value.width)))
+    if value.has_unknown:
+        if kind == "h":
+            digits = (value.width + 3) // 4
+            return "".join(
+                "x" if (value.xz >> (4 * i)) & 0xF else
+                f"{(value.val >> (4 * i)) & 0xF:x}"
+                for i in reversed(range(digits)))
+        return "x"
+    if kind == "h":
+        return f"{value.val:x}"
+    if kind == "o":
+        return f"{value.val:o}"
+    return str(value.val)

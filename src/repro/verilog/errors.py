@@ -1,0 +1,45 @@
+"""Error types raised by the Verilog front-end.
+
+The message layout intentionally mirrors yosys' Verilog front-end so that
+downstream consumers (the repair-data generator, Fig. 6 of the paper) can pair
+error text with broken source files in the same format the paper shows.
+"""
+
+from __future__ import annotations
+
+
+class VerilogError(Exception):
+    """Base class for all Verilog front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 filename: str = "<input>"):
+        self.message = message
+        self.line = line
+        self.col = col
+        self.filename = filename
+        super().__init__(self.formatted())
+
+    def formatted(self) -> str:
+        """Render the error the way yosys prints it: ``./f.v:7: ERROR: …``."""
+        return f"{self.filename}:{self.line}: ERROR: {self.message}"
+
+
+class VerilogLexError(VerilogError):
+    """Raised when the lexer meets a character it cannot tokenize."""
+
+
+class VerilogSyntaxError(VerilogError):
+    """Raised by the parser on grammar violations.
+
+    ``unexpected`` carries the offending token text, so messages read like
+    yosys' bison output: ``syntax error, unexpected ']'``.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 filename: str = "<input>", unexpected: str | None = None):
+        self.unexpected = unexpected
+        super().__init__(message, line, col, filename)
+
+
+class VerilogSemanticError(VerilogError):
+    """Raised by the checker for well-formed but ill-typed programs."""

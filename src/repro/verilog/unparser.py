@@ -1,0 +1,370 @@
+"""AST → Verilog source text.
+
+The unparser produces canonical, consistently-indented source.  It is used
+by the completion augmenter (to split modules into header/body and statement
+prefixes), by the mutation engine (to re-emit edited ASTs), and by the
+behavioural models (to emit candidate code).
+
+Round-trip property (checked by tests): ``parse(unparse(parse(x)))`` equals
+``parse(x)`` structurally.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+_INDENT = "  "
+
+
+class Unparser:
+    """Stateless pretty-printer over the AST node classes."""
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, node: ast.Expr) -> str:
+        method = getattr(self, f"_expr_{type(node).__name__}", None)
+        if method is None:
+            raise TypeError(f"cannot unparse expression {type(node).__name__}")
+        return method(node)
+
+    def _expr_Identifier(self, node: ast.Identifier) -> str:
+        return node.name
+
+    def _expr_HierarchicalId(self, node: ast.HierarchicalId) -> str:
+        return ".".join(node.parts)
+
+    def _expr_Number(self, node: ast.Number) -> str:
+        return node.text
+
+    def _expr_RealLiteral(self, node: ast.RealLiteral) -> str:
+        return node.text
+
+    def _expr_StringLiteral(self, node: ast.StringLiteral) -> str:
+        return f'"{node.value}"'
+
+    def _expr_Unary(self, node: ast.Unary) -> str:
+        operand = self.expr(node.operand)
+        if isinstance(node.operand, (ast.Binary, ast.Ternary, ast.Unary)):
+            operand = f"({operand})"
+        return f"{node.op}{operand}"
+
+    def _expr_Binary(self, node: ast.Binary) -> str:
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        if isinstance(node.left, (ast.Binary, ast.Ternary)):
+            left = f"({left})"
+        if isinstance(node.right, (ast.Binary, ast.Ternary)):
+            right = f"({right})"
+        return f"{left} {node.op} {right}"
+
+    def _expr_Ternary(self, node: ast.Ternary) -> str:
+        cond = self.expr(node.cond)
+        if isinstance(node.cond, (ast.Binary, ast.Ternary)):
+            cond = f"({cond})"
+        return (f"{cond} ? {self.expr(node.if_true)} : "
+                f"{self.expr(node.if_false)}")
+
+    def _expr_Concat(self, node: ast.Concat) -> str:
+        return "{" + ", ".join(self.expr(p) for p in node.parts) + "}"
+
+    def _expr_Repl(self, node: ast.Repl) -> str:
+        inner = ", ".join(self.expr(p) for p in node.parts)
+        return "{" + self.expr(node.count) + "{" + inner + "}}"
+
+    def _expr_Index(self, node: ast.Index) -> str:
+        return f"{self.expr(node.base)}[{self.expr(node.index)}]"
+
+    def _expr_PartSelect(self, node: ast.PartSelect) -> str:
+        return (f"{self.expr(node.base)}[{self.expr(node.msb)}"
+                f"{node.mode}{self.expr(node.lsb)}]")
+
+    def _expr_FunctionCall(self, node: ast.FunctionCall) -> str:
+        if not node.args and node.is_system:
+            return node.name
+        args = ", ".join(self.expr(a) for a in node.args)
+        return f"{node.name}({args})"
+
+    # -- small helpers -----------------------------------------------------
+
+    def range(self, rng: ast.Range | None) -> str:
+        if rng is None:
+            return ""
+        return f"[{self.expr(rng.msb)}:{self.expr(rng.lsb)}]"
+
+    def _senslist(self, senslist: ast.SensList) -> str:
+        if senslist.is_star:
+            return "@(*)"
+        rendered = []
+        for item in senslist.items:
+            prefix = f"{item.edge} " if item.edge else ""
+            rendered.append(prefix + self.expr(item.signal))
+        return "@(" + " or ".join(rendered) + ")"
+
+    # -- statements --------------------------------------------------------
+
+    def stmt(self, node: ast.Stmt, depth: int = 0) -> list[str]:
+        method = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if method is None:
+            raise TypeError(f"cannot unparse statement {type(node).__name__}")
+        return method(node, depth)
+
+    def _pad(self, depth: int) -> str:
+        return _INDENT * depth
+
+    def _stmt_Block(self, node: ast.Block, depth: int) -> list[str]:
+        header = self._pad(depth) + "begin"
+        if node.name:
+            header += f" : {node.name}"
+        lines = [header]
+        for stmt in node.stmts:
+            if isinstance(stmt, ast.Decl):
+                lines.extend(self.item(stmt, depth + 1))
+            else:
+                lines.extend(self.stmt(stmt, depth + 1))
+        lines.append(self._pad(depth) + "end")
+        return lines
+
+    def _stmt_BlockingAssign(self, node: ast.BlockingAssign,
+                             depth: int) -> list[str]:
+        delay = f"#{self.expr(node.delay)} " if node.delay else ""
+        return [f"{self._pad(depth)}{self.expr(node.lhs)} = "
+                f"{delay}{self.expr(node.rhs)};"]
+
+    def _stmt_NonBlockingAssign(self, node: ast.NonBlockingAssign,
+                                depth: int) -> list[str]:
+        delay = f"#{self.expr(node.delay)} " if node.delay else ""
+        return [f"{self._pad(depth)}{self.expr(node.lhs)} <= "
+                f"{delay}{self.expr(node.rhs)};"]
+
+    def _stmt_IfStmt(self, node: ast.IfStmt, depth: int) -> list[str]:
+        lines = [f"{self._pad(depth)}if ({self.expr(node.cond)})"]
+        lines.extend(self._nested(node.then_stmt, depth))
+        if node.else_stmt is not None:
+            lines.append(f"{self._pad(depth)}else")
+            if isinstance(node.else_stmt, ast.IfStmt):
+                nested = self.stmt(node.else_stmt, depth)
+                lines[-1] = f"{self._pad(depth)}else " + nested[0].lstrip()
+                lines.extend(nested[1:])
+            else:
+                lines.extend(self._nested(node.else_stmt, depth))
+        return lines
+
+    def _nested(self, stmt: ast.Stmt | None, depth: int) -> list[str]:
+        if stmt is None:
+            return [self._pad(depth + 1) + ";"]
+        if isinstance(stmt, ast.Block):
+            return self.stmt(stmt, depth)
+        return self.stmt(stmt, depth + 1)
+
+    def _stmt_CaseStmt(self, node: ast.CaseStmt, depth: int) -> list[str]:
+        lines = [f"{self._pad(depth)}{node.kind} ({self.expr(node.expr)})"]
+        for item in node.items:
+            label = ("default" if not item.exprs
+                     else ", ".join(self.expr(e) for e in item.exprs))
+            lines.append(f"{self._pad(depth + 1)}{label}:")
+            lines.extend(self._nested(item.stmt, depth + 1))
+        lines.append(f"{self._pad(depth)}endcase")
+        return lines
+
+    def _stmt_ForStmt(self, node: ast.ForStmt, depth: int) -> list[str]:
+        init = self.stmt(node.init, 0)[0].rstrip(";")
+        step = self.stmt(node.step, 0)[0].rstrip(";")
+        lines = [f"{self._pad(depth)}for ({init}; "
+                 f"{self.expr(node.cond)}; {step})"]
+        lines.extend(self._nested(node.body, depth))
+        return lines
+
+    def _stmt_WhileStmt(self, node: ast.WhileStmt, depth: int) -> list[str]:
+        lines = [f"{self._pad(depth)}while ({self.expr(node.cond)})"]
+        lines.extend(self._nested(node.body, depth))
+        return lines
+
+    def _stmt_RepeatStmt(self, node: ast.RepeatStmt, depth: int) -> list[str]:
+        lines = [f"{self._pad(depth)}repeat ({self.expr(node.count)})"]
+        lines.extend(self._nested(node.body, depth))
+        return lines
+
+    def _stmt_ForeverStmt(self, node: ast.ForeverStmt,
+                          depth: int) -> list[str]:
+        lines = [f"{self._pad(depth)}forever"]
+        lines.extend(self._nested(node.body, depth))
+        return lines
+
+    def _stmt_DelayStmt(self, node: ast.DelayStmt, depth: int) -> list[str]:
+        if node.stmt is None:
+            return [f"{self._pad(depth)}#{self.expr(node.delay)};"]
+        inner = self.stmt(node.stmt, depth)
+        first = inner[0].lstrip()
+        return ([f"{self._pad(depth)}#{self.expr(node.delay)} {first}"]
+                + inner[1:])
+
+    def _stmt_EventControlStmt(self, node: ast.EventControlStmt,
+                               depth: int) -> list[str]:
+        ctrl = self._senslist(node.senslist)
+        if node.stmt is None:
+            return [f"{self._pad(depth)}{ctrl};"]
+        inner = self.stmt(node.stmt, depth)
+        first = inner[0].lstrip()
+        return [f"{self._pad(depth)}{ctrl} {first}"] + inner[1:]
+
+    def _stmt_WaitStmt(self, node: ast.WaitStmt, depth: int) -> list[str]:
+        if node.stmt is None:
+            return [f"{self._pad(depth)}wait ({self.expr(node.cond)});"]
+        inner = self.stmt(node.stmt, depth)
+        first = inner[0].lstrip()
+        return [f"{self._pad(depth)}wait ({self.expr(node.cond)}) {first}"] \
+            + inner[1:]
+
+    def _stmt_SysTaskCall(self, node: ast.SysTaskCall,
+                          depth: int) -> list[str]:
+        if node.args:
+            args = ", ".join(self.expr(a) for a in node.args)
+            return [f"{self._pad(depth)}{node.name}({args});"]
+        return [f"{self._pad(depth)}{node.name};"]
+
+    def _stmt_TaskCall(self, node: ast.TaskCall, depth: int) -> list[str]:
+        if node.args:
+            args = ", ".join(self.expr(a) for a in node.args)
+            return [f"{self._pad(depth)}{node.name}({args});"]
+        return [f"{self._pad(depth)}{node.name};"]
+
+    def _stmt_NullStmt(self, node: ast.NullStmt, depth: int) -> list[str]:
+        return [self._pad(depth) + ";"]
+
+    def _stmt_DisableStmt(self, node: ast.DisableStmt,
+                          depth: int) -> list[str]:
+        return [f"{self._pad(depth)}disable {node.target};"]
+
+    # -- module items --------------------------------------------------------
+
+    def item(self, node: ast.Node, depth: int = 1) -> list[str]:
+        pad = self._pad(depth)
+        if isinstance(node, ast.PortDecl):
+            return [pad + self._port_decl_text(node) + ";"]
+        if isinstance(node, ast.Decl):
+            rng = self.range(node.range)
+            rng = f" {rng}" if rng else ""
+            signed = " signed" if node.signed else ""
+            names = ", ".join(self._declarator(d) for d in node.declarators)
+            return [f"{pad}{node.kind}{signed}{rng} {names};"]
+        if isinstance(node, ast.ParamDecl):
+            rng = self.range(node.range)
+            rng = f" {rng}" if rng else ""
+            names = ", ".join(self._declarator(d) for d in node.assignments)
+            return [f"{pad}{node.kind}{rng} {names};"]
+        if isinstance(node, ast.ContinuousAssign):
+            delay = f"#{self.expr(node.delay)} " if node.delay else ""
+            rendered = ", ".join(f"{self.expr(lhs)} = {self.expr(rhs)}"
+                                 for lhs, rhs in node.assignments)
+            return [f"{pad}assign {delay}{rendered};"]
+        if isinstance(node, ast.Always):
+            header = f"{pad}always"
+            if node.senslist is not None:
+                header += f" {self._senslist(node.senslist)}"
+            inner = self.stmt(node.body, depth)
+            return [header + " " + inner[0].lstrip()] + inner[1:]
+        if isinstance(node, ast.Initial):
+            inner = self.stmt(node.body, depth)
+            return [f"{pad}initial " + inner[0].lstrip()] + inner[1:]
+        if isinstance(node, ast.Instantiation):
+            return self._instantiation(node, depth)
+        if isinstance(node, ast.FunctionDecl):
+            return self._function(node, depth)
+        raise TypeError(f"cannot unparse module item {type(node).__name__}")
+
+    def _declarator(self, decl: ast.Declarator) -> str:
+        text = decl.name
+        if decl.array is not None:
+            text += f" {self.range(decl.array)}"
+        if decl.init is not None:
+            text += f" = {self.expr(decl.init)}"
+        return text
+
+    def _port_decl_text(self, node: ast.PortDecl) -> str:
+        parts = [node.direction]
+        if node.net_kind:
+            parts.append(node.net_kind)
+        if node.signed:
+            parts.append("signed")
+        rng = self.range(node.range)
+        if rng:
+            parts.append(rng)
+        parts.append(", ".join(node.names))
+        return " ".join(parts)
+
+    def _instantiation(self, node: ast.Instantiation,
+                       depth: int) -> list[str]:
+        pad = self._pad(depth)
+        text = node.module
+        if node.param_overrides:
+            text += " #(" + ", ".join(self._connection(c)
+                                      for c in node.param_overrides) + ")"
+        rendered_instances = []
+        for inst in node.instances:
+            conns = ", ".join(self._connection(c) for c in inst.connections)
+            rendered_instances.append(f"{inst.name} ({conns})")
+        return [f"{pad}{text} " + ", ".join(rendered_instances) + ";"]
+
+    def _connection(self, conn: ast.PortConnection) -> str:
+        if conn.name is None:
+            return self.expr(conn.expr)
+        inner = self.expr(conn.expr) if conn.expr is not None else ""
+        return f".{conn.name}({inner})"
+
+    def _function(self, node: ast.FunctionDecl, depth: int) -> list[str]:
+        pad = self._pad(depth)
+        rng = self.range(node.range)
+        rng = f" {rng}" if rng else ""
+        signed = " signed" if node.signed else ""
+        lines = [f"{pad}function{signed}{rng} {node.name};"]
+        for item in node.items:
+            lines.extend(self.item(item, depth + 1))
+        lines.extend(self.stmt(node.body, depth + 1))
+        lines.append(f"{pad}endfunction")
+        return lines
+
+    # -- modules ---------------------------------------------------------
+
+    def module(self, node: ast.Module) -> str:
+        header = f"module {node.name}"
+        if node.params:
+            rendered = []
+            for param in node.params:
+                rng = self.range(param.range)
+                rng = f" {rng}" if rng else ""
+                for assign in param.assignments:
+                    rendered.append(f"parameter{rng} "
+                                    f"{self._declarator(assign)}")
+            header += " #(" + ", ".join(rendered) + ")"
+        if node.ports:
+            rendered_ports = []
+            for port in node.ports:
+                if port.decl is None:
+                    rendered_ports.append(port.name)
+                else:
+                    rendered_ports.append(self._port_decl_text(port.decl))
+            header += " (" + ", ".join(rendered_ports) + ")"
+        else:
+            header += " ()"
+        lines = [header + ";"]
+        for item in node.items:
+            lines.extend(self.item(item, 1))
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+    def source(self, node: ast.SourceFile) -> str:
+        return "\n\n".join(self.module(m) for m in node.modules) + "\n"
+
+
+def unparse(node: ast.Node) -> str:
+    """Render any AST node back to Verilog source text."""
+    printer = Unparser()
+    if isinstance(node, ast.SourceFile):
+        return printer.source(node)
+    if isinstance(node, ast.Module):
+        return printer.module(node) + "\n"
+    if isinstance(node, ast.Expr):
+        return printer.expr(node)
+    if isinstance(node, ast.Stmt):
+        return "\n".join(printer.stmt(node, 0))
+    return "\n".join(printer.item(node, 0))

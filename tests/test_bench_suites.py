@@ -1,0 +1,98 @@
+"""Tests for the benchmark suites (Thakur-style, RTLLM-style, script-gen)."""
+
+import pytest
+
+from repro.bench import (PROMPT_LEVELS, TABLE5_NAMES, rtllm_suite,
+                         rtllm_table5_subset, scgen_suite,
+                         spaced_difficulties, thakur_suite)
+from repro.checker import check_source
+from repro.eda import run_script
+from repro.sim import run_testbench
+
+
+class TestThakurSuite:
+    def test_seventeen_problems(self):
+        suite = thakur_suite()
+        assert len(suite) == 17
+        tiers = [p.tier for p in suite]
+        assert tiers.count("basic") == 4
+        assert tiers.count("intermediate") == 8
+        assert tiers.count("advanced") == 5
+
+    def test_three_prompt_levels_each(self):
+        for problem in thakur_suite():
+            for level in PROMPT_LEVELS:
+                assert problem.prompt(level), (problem.name, level)
+
+    def test_high_prompt_is_rule_generated(self):
+        problem = thakur_suite()[0]
+        assert "module <basic1>" in problem.prompt("high")
+
+    @pytest.mark.parametrize("problem", thakur_suite(),
+                             ids=lambda p: p.name)
+    def test_reference_lints_clean(self, problem):
+        assert check_source(problem.reference).ok, problem.name
+
+    @pytest.mark.parametrize("problem", thakur_suite(),
+                             ids=lambda p: p.name)
+    def test_reference_passes_testbench(self, problem):
+        verdict = run_testbench(problem.reference, problem.testbench)
+        assert verdict.all_passed, \
+            f"{problem.name}: {verdict.error or verdict.failed}"
+
+    def test_difficulties_spaced_per_tier(self):
+        basics = [p.difficulty for p in thakur_suite()
+                  if p.tier == "basic"]
+        assert basics == spaced_difficulties(4)
+
+    def test_unknown_prompt_level_raises(self):
+        with pytest.raises(KeyError):
+            thakur_suite()[0].prompt("ultra")
+
+
+class TestRTLLMSuite:
+    def test_twenty_nine_problems(self):
+        assert len(rtllm_suite()) == 29
+
+    def test_table5_subset_is_eighteen(self):
+        subset = rtllm_table5_subset()
+        assert len(subset) == 18
+        assert tuple(p.name for p in subset) == TABLE5_NAMES
+
+    @pytest.mark.parametrize("problem", rtllm_suite(),
+                             ids=lambda p: p.name)
+    def test_reference_passes_testbench(self, problem):
+        verdict = run_testbench(problem.reference, problem.testbench)
+        assert verdict.all_passed, \
+            f"{problem.name}: {verdict.error or verdict.failed}"
+
+    def test_difficulties_increase_in_order(self):
+        difficulties = [p.difficulty for p in rtllm_suite()]
+        assert difficulties == sorted(difficulties)
+
+    def test_all_names_unique(self):
+        names = [p.name for p in rtllm_suite()]
+        assert len(set(names)) == len(names)
+
+
+class TestScgenSuite:
+    def test_five_tasks_in_paper_order(self):
+        suite = scgen_suite()
+        assert [t.name for t in suite] == \
+            ["Basic", "Layout", "Clock Period", "Core Area", "Mixed"]
+
+    def test_prompts_are_oracle_generated(self):
+        for task in scgen_suite():
+            assert "chip object" in task.prompt
+
+    @pytest.mark.parametrize("task", scgen_suite(), ids=lambda t: t.name)
+    def test_reference_meets_own_expectation(self, task):
+        check = run_script(task.reference, expectation=task.expectation)
+        assert check.function_ok, f"{task.name}: {check.summary}"
+
+    def test_expectations_discriminate(self):
+        # The Basic reference must NOT satisfy the Clock Period task.
+        suite = {t.name: t for t in scgen_suite()}
+        check = run_script(suite["Basic"].reference,
+                           expectation=suite["Clock Period"].expectation)
+        assert not check.function_ok

@@ -1,0 +1,133 @@
+"""Tests for the augmentation framework core (completion/alignment/records)."""
+
+import json
+
+import pytest
+
+from repro.core import (Dataset, Task, alignment_records, completion_records,
+                        make_record, module_level, segment_count,
+                        statement_level, token_level,
+                        translatable_structures)
+
+COUNTER = """module counter (clk, rst, en, count);
+  input clk, rst, en;
+  output reg [1:0] count;
+  always @(posedge clk)
+    if (rst) count <= 2'd0;
+    else if (en) count <= count + 2'd1;
+endmodule
+"""
+
+
+class TestRecords:
+    def test_record_format_matches_paper(self):
+        record = make_record(Task.NL_VERILOG, "desc", "module m; endmodule")
+        blob = json.loads(record.to_json())
+        assert set(blob) == {"instruct", "input", "output"}
+        assert blob["instruct"] == \
+            "give me the Verilog module of this description. "
+
+    def test_debug_instruction_string(self):
+        record = make_record(Task.DEBUG, "wrong", "right")
+        assert record.instruct == \
+            "give me correct Verilog according to the given wrong Verilog. "
+
+    def test_dataset_task_counts(self):
+        dataset = Dataset()
+        dataset.add(make_record(Task.NL_VERILOG, "a", "b"))
+        dataset.add(make_record(Task.NL_VERILOG, "c", "d"))
+        dataset.add(make_record(Task.DEBUG, "e", "f"))
+        assert dataset.task_counts()[Task.NL_VERILOG] == 2
+        assert len(dataset.by_task(Task.DEBUG)) == 1
+
+    def test_trimming_drops_long_records(self):
+        dataset = Dataset()
+        dataset.add(make_record(Task.NL_VERILOG, "short", "output"))
+        dataset.add(make_record(Task.NL_VERILOG, "x " * 5000, "y"))
+        trimmed = dataset.trimmed(max_tokens=100)
+        assert len(trimmed) == 1
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        dataset = Dataset()
+        dataset.add(make_record(Task.NL_VERILOG, "in", "out"))
+        path = tmp_path / "data.jsonl"
+        dataset.save(str(path))
+        loaded = Dataset.load(str(path), Task.NL_VERILOG)
+        assert loaded.records[0].input == "in"
+        assert loaded.records[0].output == "out"
+
+
+class TestCompletion:
+    def test_module_level_splits_at_header(self):
+        records = list(module_level(COUNTER))
+        assert len(records) == 1
+        record = records[0]
+        assert record.input.endswith("(clk, rst, en, count);")
+        assert record.output.endswith("endmodule")
+        assert "complete the next module" in record.instruct
+
+    def test_statement_level_counts(self):
+        records = list(statement_level(COUNTER))
+        # statements = semicolon boundaries minus the first header boundary
+        assert all("complete the next statement" in r.instruct
+                   for r in records)
+        assert len(records) >= 3
+        # each output is exactly the text between consecutive semicolons
+        assert records[0].output.startswith("input")
+
+    def test_token_level_predicts_single_token(self):
+        records = list(token_level(COUNTER, max_records=10))
+        assert len(records) == 10
+        assert records[0].input.endswith("module")
+        assert records[0].output == "counter"
+
+    def test_segment_count_formula(self):
+        # 1 + j + i from the paper
+        text = "module m; wire a; endmodule"
+        # tokens: module m ; wire a ; endmodule = 7, semis = 2
+        assert segment_count(text) == 1 + 2 + 7
+
+    def test_completion_records_all_levels(self):
+        records = list(completion_records(COUNTER, statement_cap=5,
+                                          token_cap=5))
+        tasks = {record.task for record in records}
+        assert tasks == {Task.MODULE_COMPLETION, Task.STATEMENT_COMPLETION,
+                         Task.WORD_COMPLETION}
+
+    def test_caps_respected(self):
+        records = list(completion_records(COUNTER, statement_cap=2,
+                                          token_cap=3))
+        statements = [r for r in records
+                      if r.task is Task.STATEMENT_COMPLETION]
+        tokens = [r for r in records if r.task is Task.WORD_COMPLETION]
+        assert len(statements) == 2
+        assert len(tokens) == 3
+
+
+class TestAlignment:
+    def test_full_record_pairs_nl_with_verilog(self):
+        records = list(alignment_records(COUNTER, include_partial=False))
+        assert len(records) == 1
+        record = records[0]
+        assert record.task is Task.NL_VERILOG
+        assert "module <counter> has <four> ports" in record.input
+        assert record.output.startswith("module counter")
+
+    def test_partial_records_grow_linearly(self):
+        full_only = list(alignment_records(COUNTER, include_partial=False))
+        with_partial = list(alignment_records(COUNTER))
+        k = translatable_structures(COUNTER)
+        assert len(with_partial) == len(full_only) + k
+
+    def test_unparseable_input_yields_nothing(self):
+        assert list(alignment_records("module broken (")) == []
+
+    def test_multi_module_source(self):
+        text = """module a (input x, output y); assign y = x; endmodule
+module b (input p, output q); assign q = ~p; endmodule
+"""
+        records = list(alignment_records(text, include_partial=False))
+        assert len(records) == 2
+        names = {json.loads(r.to_json())["input"].split("<")[1].split(">")[0]
+                 for r in records}
+        assert names == {"a", "b"}

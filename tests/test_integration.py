@@ -1,0 +1,67 @@
+"""Cross-module integration: end-to-end paths the paper's Fig. 4 draws."""
+
+from repro.bench import rtllm_suite, thakur_suite
+from repro.checker import check_source
+from repro.core import (AugmentationPipeline, PipelineConfig, Task)
+from repro.corpus import generate_corpus
+from repro.eda import reference_corpus, run_script
+from repro.llm import DescriptionOracle
+from repro.verilog import parse, unparse
+
+
+class TestFig4EndToEnd:
+    """Corpus → augmentation → dataset with EDA scripts, all stages on."""
+
+    def test_full_pipeline_with_scripts(self):
+        corpus = generate_corpus(6, seed=11)
+        scripts = reference_corpus(25, seed=3)
+        report = AugmentationPipeline(PipelineConfig(
+            statement_cap=4, token_cap=8)).run(corpus,
+                                               eda_scripts=scripts)
+        counts = report.per_task
+        assert counts[Task.EDA_SCRIPT] == 25
+        assert Task.NL_VERILOG in counts
+        assert Task.DEBUG in counts
+
+    def test_script_records_roundtrip_through_runner(self):
+        """Every (description, script) record's output actually runs."""
+        scripts = reference_corpus(10, seed=5)
+        oracle = DescriptionOracle()
+        for script in scripts[:4]:
+            description = oracle.describe(script)
+            assert description                      # oracle understood it
+            check = run_script(script)
+            assert check.function_ok, check.summary
+
+    def test_debug_records_repair_to_lintable_output(self):
+        corpus = generate_corpus(4, seed=13)
+        report = AugmentationPipeline(PipelineConfig(
+            completion=False, alignment=False,
+            eda_scripts=False)).run(corpus)
+        for record in report.dataset.by_task(Task.DEBUG)[:6]:
+            # output (the "right" file) must lint clean
+            assert check_source(record.output).ok
+            # input's embedded broken file must not
+            _, wrong = record.input.split(",\n", 1)
+            assert not check_source(wrong).ok
+
+
+class TestBenchmarkReferencesRoundTrip:
+    def test_all_references_unparse_stably(self):
+        for problem in list(thakur_suite()) + list(rtllm_suite()):
+            first = unparse(parse(problem.reference))
+            second = unparse(parse(first))
+            assert first == second, problem.name
+
+    def test_all_references_lint_clean(self):
+        for problem in list(thakur_suite()) + list(rtllm_suite()):
+            assert check_source(problem.reference).ok, problem.name
+
+    def test_all_testbenches_parse(self):
+        for problem in list(thakur_suite()) + list(rtllm_suite()):
+            parse(problem.reference + "\n" + problem.testbench)
+
+    def test_high_prompts_describe_their_reference(self):
+        for problem in thakur_suite():
+            assert f"<{problem.name}>" in problem.prompt("high"), \
+                problem.name

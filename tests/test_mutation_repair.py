@@ -1,0 +1,111 @@
+"""Tests for the mutation engine and repair-pair generation (Sec. 3.2)."""
+
+import pytest
+
+from repro.checker import check_source
+from repro.core import (MUTATION_RULES, Mutator, Task,
+                        feedback_repair_records, make_broken_variant,
+                        mutate, repair_records)
+
+COUNTER = """module counter (clk, rst, en, count);
+  input clk, rst, en;
+  output reg [1:0] count;
+  always @(posedge clk)
+    if (rst) count <= 2'd0;
+    else if (en) count <= count + 2'd1;
+endmodule
+"""
+
+
+class TestMutationRules:
+    def test_all_five_paper_rules_registered(self):
+        assert MUTATION_RULES == ("word_missing", "type_error",
+                                  "width_error", "additional_word",
+                                  "logic_error")
+
+    def test_word_missing_removes_token(self):
+        result = mutate(COUNTER, seed=1, count=1, rule="word_missing")
+        assert result.changed
+        assert len(result.mutated) < len(COUNTER)
+
+    def test_type_error_flips_reg(self):
+        result = mutate(COUNTER, seed=2, count=1, rule="type_error")
+        assert result.changed
+        assert "output wire [1:0] count" in result.mutated or \
+            "reg" not in result.mutated.split("always")[0]
+
+    def test_width_error_changes_bound(self):
+        result = mutate(COUNTER, seed=3, count=1, rule="width_error")
+        assert result.changed
+        assert result.applied[0].rule == "width_error"
+        assert "[1:0]" not in result.mutated or "2'd" in result.mutated
+
+    def test_additional_word_inserts(self):
+        result = mutate(COUNTER, seed=4, count=1, rule="additional_word")
+        assert result.changed
+        assert len(result.mutated) > len(COUNTER)
+
+    def test_logic_error_removes_if_condition(self):
+        result = mutate(COUNTER, seed=5, count=1, rule="logic_error")
+        assert result.changed
+        assert result.mutated.count("if") < COUNTER.count("if")
+
+    def test_mutation_cap_is_five(self):
+        mutator = Mutator(seed=0, max_mutations=50)
+        assert mutator.max_mutations == 5
+        result = mutator.mutate(COUNTER, count=50)
+        assert len(result.applied) <= 5
+
+    def test_deterministic_under_seed(self):
+        first = mutate(COUNTER, seed=42)
+        second = mutate(COUNTER, seed=42)
+        assert first.mutated == second.mutated
+
+    def test_different_seeds_differ(self):
+        outputs = {mutate(COUNTER, seed=s).mutated for s in range(8)}
+        assert len(outputs) > 1
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Mutator(rules=("not_a_rule",))
+
+    def test_mutations_usually_break_the_checker(self):
+        broken = 0
+        for seed in range(20):
+            result = mutate(COUNTER, seed=seed, count=2)
+            if not result.changed:
+                continue
+            if not check_source(result.mutated).ok:
+                broken += 1
+        assert broken >= 10  # most mutants must be rejected by the checker
+
+
+class TestRepairRecords:
+    def test_repair_pair_output_is_original(self):
+        records = list(repair_records(COUNTER, seed=0, variants=3))
+        assert records
+        for record in records:
+            assert record.task is Task.MASK_COMPLETION
+            assert record.output == COUNTER.strip()
+            assert record.input != record.output
+
+    def test_feedback_pairs_embed_yosys_line(self):
+        records = list(feedback_repair_records(COUNTER, seed=1, variants=8))
+        assert records
+        for record in records:
+            assert record.task is Task.DEBUG
+            feedback = record.input.split(",\n", 1)[0]
+            assert "ERROR" in feedback
+            assert record.output == COUNTER.strip()
+
+    def test_feedback_is_real_checker_output(self):
+        records = list(feedback_repair_records(COUNTER, seed=2, variants=8))
+        for record in records:
+            feedback, wrong = record.input.split(",\n", 1)
+            recomputed = check_source(wrong, "./design.v").first_error()
+            assert recomputed == feedback
+
+    def test_make_broken_variant(self):
+        result = make_broken_variant(COUNTER, seed=9, count=2)
+        assert result.original == COUNTER
+        assert result.changed

@@ -1,0 +1,174 @@
+"""Tests for the AST→natural-language rule set (paper Fig. 5)."""
+
+import pytest
+
+from repro.nl import Ruleset, available_rules, describe_source
+from repro.verilog import parse_module
+
+COUNTER = """
+module counter (clk, rst, en, count);
+  input clk, rst, en;
+  output reg [1:0] count;
+  always @(posedge clk)
+    if (rst)
+      count <= 2'd0;
+    else if (en)
+      count <= count + 2'd1;
+endmodule
+"""
+
+
+class TestFig5CaseStudy:
+    """The paper's Fig. 5 counter example, sentence by sentence."""
+
+    @pytest.fixture
+    def description(self):
+        return describe_source(COUNTER)
+
+    def test_module_ports_sentence(self, description):
+        assert ("module <counter> has <four> ports, their names are "
+                "<clk, rst, en and count>.") in description.text
+
+    def test_input_widths_sentence(self, description):
+        text = description.text
+        assert "<clk, rst and en> are inputs" in text
+        assert "<clk> has <1>-bit width" in text
+
+    def test_output_sentence(self, description):
+        assert ("<Output> signal <count> has <2>-bit width in range <1:0>. "
+                "It is a <reg> variable.") in description.text
+
+    def test_trigger_block_sentences(self, description):
+        text = description.text
+        assert "This module has <one> trigger block." in text
+        assert ("The sensitive list in <first> trigger block is "
+                "<on the positive edge> of <clk>.") in text
+
+    def test_behavior_sentence(self, description):
+        text = description.text
+        assert "<if> <rst> is 1, then <initialize> <count> to <2'd0>" in text
+        assert "<add> <2'd1> to the count" in text
+
+    def test_annotated_has_line_numbers(self, description):
+        annotated = description.annotated()
+        assert annotated.startswith("Line 2: module <counter>")
+
+
+class TestOtherConstructs:
+    def test_continuous_assign(self):
+        text = describe_source("""
+module mux (input a, input b, input s, output y);
+  assign y = s ? b : a;
+endmodule
+""").text
+        assert "continuously assigns <s ? b : a> to <y>" in text
+
+    def test_negedge_sensitivity(self):
+        text = describe_source("""
+module m (input clk, input rst_n, output reg q);
+  always @(negedge rst_n) q <= 0;
+endmodule
+""").text
+        assert "<on the negative edge> of <rst_n>" in text
+
+    def test_star_sensitivity(self):
+        text = describe_source("""
+module m (input a, output reg y);
+  always @(*) y = ~a;
+endmodule
+""").text
+        assert "combinational" in text
+
+    def test_case_statement(self):
+        text = describe_source("""
+module dec (input [1:0] s, output reg [3:0] y);
+  always @(*)
+    case (s)
+      2'd0: y = 4'b0001;
+      2'd1: y = 4'b0010;
+      default: y = 4'b0000;
+    endcase
+endmodule
+""").text
+        assert "<case> statement selects on <s>" in text
+        assert "when <2'd0> then" in text
+        assert "by default" in text
+
+    def test_shift_register_phrase(self):
+        text = describe_source("""
+module sr (input clk, input d, output reg [7:0] q);
+  always @(posedge clk) q <= {q[6:0], d};
+endmodule
+""").text
+        assert "shift <q> left inserting <d>" in text
+
+    def test_memory_decl(self):
+        text = describe_source("""
+module ram (input clk);
+  reg [7:0] mem [0:255];
+endmodule
+""").text
+        assert "memory of <256> entries, each <8>-bit wide" in text
+
+    def test_parameters(self):
+        text = describe_source("""
+module f #(parameter WIDTH = 8) (input [WIDTH-1:0] a, output [WIDTH-1:0] y);
+  localparam ZERO = 0;
+  assign y = a;
+endmodule
+""").text
+        assert "The parameter <WIDTH> has default value <8>." in text
+        assert "The localparam <ZERO> has default value <0>." in text
+
+    def test_instances(self):
+        text = describe_source("""
+module top (input a, output y);
+  wire m;
+  inv u0 (.a(a), .y(m));
+endmodule
+""").text
+        assert "instantiates <inv> as <u0>" in text
+
+    def test_subtract_phrase(self):
+        text = describe_source("""
+module down (input clk, output reg [3:0] n);
+  always @(posedge clk) n <= n - 1;
+endmodule
+""").text
+        assert "<subtract> <1> from the n" in text
+
+    def test_multiple_always_blocks_ordinals(self):
+        text = describe_source("""
+module two (input clk, input d, output reg q, output reg p);
+  always @(posedge clk) q <= d;
+  always @(negedge clk) p <= d;
+endmodule
+""").text
+        assert "has <two> trigger blocks" in text
+        assert "<first> trigger block" in text
+        assert "<second> trigger block" in text
+
+
+class TestRulesetConfiguration:
+    def test_rule_subset_only_emits_selected(self):
+        module = parse_module(COUNTER)
+        lines = Ruleset(enabled={"module_ports"}).apply(module)
+        assert len(lines) == 1
+        assert lines[0].rule == "module_ports"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Ruleset(enabled={"bogus"})
+
+    def test_available_rules_nonempty(self):
+        rules = available_rules()
+        assert "module_ports" in rules
+        assert "behavior" in rules
+
+    def test_by_rule_filter(self):
+        description = describe_source(COUNTER)
+        assert description.by_rule("trigger_blocks")
+        assert not description.by_rule("instances")
+
+    def test_description_deterministic(self):
+        assert describe_source(COUNTER).text == describe_source(COUNTER).text

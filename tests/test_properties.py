@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dataset, Mutator, Task, make_record
+from repro.corpus import family_names, generate_design
+from repro.eval import pass_at_k
+from repro.sim import values as V
+from repro.sim.values import Value, from_literal
+from repro.verilog import TokenKind, VerilogError, parse, tokenize, unparse
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def value_pairs(draw):
+    width = draw(widths)
+    a = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    b = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return Value.of(a, width), Value.of(b, width)
+
+
+class TestValueProperties:
+    @given(value_pairs())
+    def test_add_matches_integer_arithmetic(self, pair):
+        a, b = pair
+        assert V.add(a, b).to_int() == (a.to_int() + b.to_int()) % \
+            (1 << a.width)
+
+    @given(value_pairs())
+    def test_add_commutative(self, pair):
+        a, b = pair
+        assert V.add(a, b) == V.add(b, a)
+
+    @given(value_pairs())
+    def test_de_morgan(self, pair):
+        a, b = pair
+        left = V.bit_not(V.bit_and(a, b))
+        right = V.bit_or(V.bit_not(a), V.bit_not(b))
+        assert left == right
+
+    @given(value_pairs())
+    def test_compare_consistent_with_ints(self, pair):
+        a, b = pair
+        assert V.compare("<", a, b).val == int(a.to_int() < b.to_int())
+        assert V.compare("==", a, b).val == int(a.to_int() == b.to_int())
+
+    @given(value_pairs())
+    def test_sub_is_add_inverse(self, pair):
+        a, b = pair
+        assert V.add(V.sub(a, b), b).to_int() == a.to_int()
+
+    @given(widths, st.integers(min_value=0, max_value=2**64 - 1))
+    def test_resize_roundtrip_extending(self, width, raw):
+        value = Value.of(raw, width)
+        widened = value.resized(width + 8)
+        assert widened.resized(width) == value
+
+    @given(widths, st.integers(min_value=0, max_value=2**64 - 1))
+    def test_concat_select_roundtrip(self, width, raw):
+        value = Value.of(raw, width)
+        double = V.concat([value, value])
+        assert double.select_range(width - 1, 0) == value
+        assert double.select_range(2 * width - 1, width) == value
+
+    @given(widths, st.integers(min_value=0, max_value=2**64 - 1))
+    def test_not_involutive(self, width, raw):
+        value = Value.of(raw, width)
+        assert V.bit_not(V.bit_not(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), widths)
+    def test_literal_roundtrip_decimal(self, raw, width):
+        value = from_literal(f"{width}'d{raw}")
+        assert value.width == width
+        assert value.val == raw % (1 << width)
+
+    @given(value_pairs())
+    def test_xor_self_inverse(self, pair):
+        a, b = pair
+        assert V.bit_xor(V.bit_xor(a, b), b) == a
+
+
+class TestLexerParserProperties:
+    @given(st.text(
+        alphabet=st.sampled_from(
+            "abcdefgz_0123456789 \n\t(){}[];:,.+-*/&|^~!<>=?#@'\""),
+        max_size=120))
+    @settings(max_examples=60)
+    def test_lexer_total_or_clean_error(self, text):
+        """The lexer either tokenizes or raises a VerilogError — never
+        loops or throws anything else."""
+        try:
+            tokens = tokenize(text)
+        except VerilogError:
+            return
+        assert tokens[-1].kind is TokenKind.EOF
+
+    @given(st.sampled_from(family_names()), st.integers(0, 500))
+    @settings(max_examples=40)
+    def test_corpus_designs_roundtrip(self, family, seed):
+        text = generate_design(random.Random(seed), seed, family)
+        first = unparse(parse(text))
+        second = unparse(parse(first))
+        assert first == second
+
+    @given(st.sampled_from(family_names()), st.integers(0, 200))
+    @settings(max_examples=30)
+    def test_mutation_respects_cap_and_determinism(self, family, seed):
+        text = generate_design(random.Random(seed), seed, family)
+        mutator_a = Mutator(seed=seed)
+        mutator_b = Mutator(seed=seed)
+        result_a = mutator_a.mutate(text)
+        result_b = mutator_b.mutate(text)
+        assert result_a.mutated == result_b.mutated
+        assert len(result_a.applied) <= 5
+        if result_a.applied:
+            assert result_a.mutated != "" or text == ""
+
+
+class TestDatasetProperties:
+    @given(st.lists(st.tuples(st.text(max_size=40), st.text(max_size=40)),
+                    max_size=20))
+    @settings(max_examples=40)
+    def test_json_roundtrip_arbitrary_text(self, pairs):
+        import json
+        dataset = Dataset()
+        for input_text, output_text in pairs:
+            dataset.add(make_record(Task.NL_VERILOG, input_text,
+                                    output_text))
+        for record in dataset:
+            blob = json.loads(record.to_json())
+            assert blob["input"] == record.input
+            assert blob["output"] == record.output
+            assert blob["instruct"] == record.instruct
+
+    @given(st.lists(st.integers(min_value=0, max_value=400), min_size=1,
+                    max_size=40), st.integers(min_value=1, max_value=200))
+    def test_trimming_monotone(self, sizes, budget):
+        dataset = Dataset()
+        for size in sizes:
+            dataset.add(make_record(Task.NL_VERILOG, "x " * size, "y"))
+        trimmed = dataset.trimmed(budget)
+        assert len(trimmed) <= len(dataset)
+        assert all(record.approx_tokens <= budget for record in trimmed)
+
+
+class TestPassAtKProperties:
+    @given(st.integers(1, 30), st.integers(0, 30), st.integers(1, 30))
+    def test_bounds(self, n, c, k):
+        c = min(c, n)
+        value = pass_at_k(n, c, k)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(2, 30), st.integers(0, 30))
+    def test_monotone_in_k(self, n, c):
+        c = min(c, n)
+        values = [pass_at_k(n, c, k) for k in range(1, n + 1)]
+        assert all(x <= y + 1e-12 for x, y in zip(values, values[1:]))

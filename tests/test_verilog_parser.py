@@ -1,0 +1,319 @@
+"""Unit tests for the Verilog parser and unparser round-trip."""
+
+import pytest
+
+from repro.verilog import VerilogSyntaxError, ast, parse, parse_module, unparse
+
+COUNTER = """
+module counter (clk, rst, en, count);
+  input clk, rst, en;
+  output reg [1:0] count;
+  always @(posedge clk)
+    if (rst)
+      count <= 2'd0;
+    else if (en)
+      count <= count + 2'd1;
+endmodule
+"""
+
+ANSI_ADDER = """
+module adder #(parameter WIDTH = 8) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  input              cin,
+  output [WIDTH-1:0] sum,
+  output             cout
+);
+  assign {cout, sum} = a + b + cin;
+endmodule
+"""
+
+
+class TestModuleHeaders:
+    def test_non_ansi_ports(self):
+        mod = parse_module(COUNTER)
+        assert mod.name == "counter"
+        assert [p.name for p in mod.ports] == ["clk", "rst", "en", "count"]
+        assert all(p.decl is None for p in mod.ports)
+
+    def test_ansi_ports(self):
+        mod = parse_module(ANSI_ADDER)
+        assert [p.name for p in mod.ports] == ["a", "b", "cin", "sum", "cout"]
+        assert mod.ports[0].decl.direction == "input"
+        assert mod.ports[3].decl.direction == "output"
+
+    def test_header_parameters(self):
+        mod = parse_module(ANSI_ADDER)
+        assert len(mod.params) == 1
+        assert mod.params[0].assignments[0].name == "WIDTH"
+
+    def test_empty_port_list(self):
+        mod = parse_module("module tb (); endmodule")
+        assert mod.ports == []
+
+    def test_no_port_list(self):
+        mod = parse_module("module tb; endmodule")
+        assert mod.ports == []
+
+    def test_multiple_modules(self):
+        src = parse("module a; endmodule module b; endmodule")
+        assert [m.name for m in src.modules] == ["a", "b"]
+        assert src.module("b").name == "b"
+        with pytest.raises(KeyError):
+            src.module("c")
+
+
+class TestDeclarations:
+    def test_output_reg_with_range(self):
+        mod = parse_module(COUNTER)
+        decls = mod.items_of_type(ast.PortDecl)
+        out = [d for d in decls if d.direction == "output"][0]
+        assert out.net_kind == "reg"
+        assert unparse(out.range.msb) == "1"
+
+    def test_wire_with_init(self):
+        mod = parse_module("module m; wire w = 1'b0; endmodule")
+        decl = mod.items_of_type(ast.Decl)[0]
+        assert decl.kind == "wire"
+        assert decl.declarators[0].init is not None
+
+    def test_memory_declaration(self):
+        mod = parse_module("module m; reg [7:0] mem [0:255]; endmodule")
+        decl = mod.items_of_type(ast.Decl)[0]
+        assert decl.declarators[0].array is not None
+        assert unparse(decl.declarators[0].array.lsb) == "255"
+
+    def test_signed_reg(self):
+        mod = parse_module("module m; reg signed [7:0] s; endmodule")
+        assert mod.items_of_type(ast.Decl)[0].signed
+
+    def test_localparam(self):
+        mod = parse_module("module m; localparam N = 4, M = 2; endmodule")
+        param = mod.items_of_type(ast.ParamDecl)[0]
+        assert param.kind == "localparam"
+        assert [a.name for a in param.assignments] == ["N", "M"]
+
+    def test_integer_decl(self):
+        mod = parse_module("module m; integer i; endmodule")
+        assert mod.items_of_type(ast.Decl)[0].kind == "integer"
+
+
+class TestBehavioral:
+    def test_always_posedge(self):
+        mod = parse_module(COUNTER)
+        always = mod.items_of_type(ast.Always)[0]
+        assert always.senslist.items[0].edge == "posedge"
+        assert isinstance(always.body, ast.IfStmt)
+
+    def test_always_star(self):
+        mod = parse_module("module m; reg y; always @(*) y = 1; endmodule")
+        assert mod.items_of_type(ast.Always)[0].senslist.is_star
+
+    def test_always_star_bare(self):
+        mod = parse_module("module m; reg y; always @* y = 1; endmodule")
+        assert mod.items_of_type(ast.Always)[0].senslist.is_star
+
+    def test_sensitivity_or_and_comma(self):
+        mod = parse_module(
+            "module m; reg y; always @(a or b, c) y = a; endmodule")
+        sens = mod.items_of_type(ast.Always)[0].senslist
+        assert len(sens.items) == 3
+
+    def test_always_without_event_control(self):
+        mod = parse_module("module m; reg clk; always #5 clk = ~clk; "
+                           "endmodule")
+        always = mod.items_of_type(ast.Always)[0]
+        assert always.senslist is None
+        assert isinstance(always.body, ast.DelayStmt)
+
+    def test_nonblocking_vs_blocking(self):
+        mod = parse_module("""
+module m; reg a, b;
+always @(posedge c) begin a <= 1; b = 0; end
+endmodule""")
+        block = mod.items_of_type(ast.Always)[0].body
+        assert isinstance(block.stmts[0], ast.NonBlockingAssign)
+        assert isinstance(block.stmts[1], ast.BlockingAssign)
+
+    def test_case_statement(self):
+        mod = parse_module("""
+module m; reg [1:0] y; always @(*) case (s)
+  2'b00: y = 0;
+  2'b01, 2'b10: y = 1;
+  default: y = 2;
+endcase endmodule""")
+        case = mod.items_of_type(ast.Always)[0].body
+        assert case.kind == "case"
+        assert len(case.items) == 3
+        assert len(case.items[1].exprs) == 2
+        assert case.items[2].exprs == []
+
+    def test_for_loop(self):
+        mod = parse_module("""
+module m; integer i; reg [7:0] a;
+initial for (i = 0; i < 8; i = i + 1) a[i] = 0;
+endmodule""")
+        loop = mod.items_of_type(ast.Initial)[0].body
+        assert isinstance(loop, ast.ForStmt)
+
+    def test_named_block_and_disable(self):
+        mod = parse_module("""
+module m; initial begin : blk disable blk; end endmodule""")
+        block = mod.items_of_type(ast.Initial)[0].body
+        assert block.name == "blk"
+        assert isinstance(block.stmts[0], ast.DisableStmt)
+
+    def test_initial_with_delays_and_tasks(self):
+        mod = parse_module("""
+module tb; reg clk;
+initial begin
+  clk = 0;
+  #10 clk = 1;
+  $display("t=%0d", $time);
+  #5;
+  $finish;
+end
+endmodule""")
+        block = mod.items_of_type(ast.Initial)[0].body
+        assert isinstance(block.stmts[1], ast.DelayStmt)
+        assert isinstance(block.stmts[2], ast.SysTaskCall)
+        assert block.stmts[2].name == "$display"
+
+    def test_wait_and_event_control_stmt(self):
+        mod = parse_module("""
+module tb; initial begin wait (done); @(posedge clk); end endmodule""")
+        block = mod.items_of_type(ast.Initial)[0].body
+        assert isinstance(block.stmts[0], ast.WaitStmt)
+        assert isinstance(block.stmts[1], ast.EventControlStmt)
+
+
+class TestExpressions:
+    def _rhs(self, expr_text):
+        mod = parse_module(f"module m; wire y; assign y = {expr_text}; "
+                           "endmodule")
+        return mod.items_of_type(ast.ContinuousAssign)[0].assignments[0][1]
+
+    def test_precedence_add_mul(self):
+        expr = self._rhs("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_logical(self):
+        expr = self._rhs("a && b || c")
+        assert expr.op == "||"
+
+    def test_ternary_nesting(self):
+        expr = self._rhs("s ? a : t ? b : c")
+        assert isinstance(expr.if_false, ast.Ternary)
+
+    def test_concat_and_replication(self):
+        expr = self._rhs("{a, 2'b01, {4{b}}}")
+        assert isinstance(expr, ast.Concat)
+        assert isinstance(expr.parts[2], ast.Repl)
+
+    def test_part_select_modes(self):
+        assert isinstance(self._rhs("v[7:4]"), ast.PartSelect)
+        assert self._rhs("v[i +: 4]").mode == "+:"
+        assert self._rhs("v[i -: 4]").mode == "-:"
+
+    def test_reduction_unary(self):
+        expr = self._rhs("&bus ^ |bus")
+        assert expr.op == "^"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_system_function_call(self):
+        expr = self._rhs("$signed(a)")
+        assert expr.is_system
+
+    def test_number_attributes(self):
+        expr = self._rhs("8'hFF")
+        assert expr.width == 8
+        assert expr.base == "h"
+        assert expr.digits == "FF"
+
+    def test_relational_le_in_expression(self):
+        expr = self._rhs("a <= b")
+        assert expr.op == "<="
+
+
+class TestInstantiation:
+    def test_named_connections(self):
+        mod = parse_module("""
+module top; wire c, s;
+adder u0 (.a(1'b0), .b(1'b1), .sum(s), .cout(c));
+endmodule""")
+        inst = mod.items_of_type(ast.Instantiation)[0]
+        assert inst.module == "adder"
+        assert inst.instances[0].connections[0].name == "a"
+
+    def test_ordered_connections(self):
+        mod = parse_module("module top; inv u1 (a, y); endmodule")
+        conns = mod.items_of_type(ast.Instantiation)[0] \
+            .instances[0].connections
+        assert all(c.name is None for c in conns)
+
+    def test_parameter_overrides(self):
+        mod = parse_module(
+            "module top; ff #(.W(4)) u (.d(d), .q(q)); endmodule")
+        inst = mod.items_of_type(ast.Instantiation)[0]
+        assert inst.param_overrides[0].name == "W"
+
+    def test_unconnected_port(self):
+        mod = parse_module("module top; ff u (.d(d), .q()); endmodule")
+        conns = mod.items_of_type(ast.Instantiation)[0] \
+            .instances[0].connections
+        assert conns[1].expr is None
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text,fragment", [
+        ("module m endmodule", "unexpected 'endmodule'"),
+        ("module m; wire ; endmodule", "unexpected ';'"),
+        ("module m; assign = 1; endmodule", "unexpected '='"),
+        ("module m; always @(posedge ]) x = 1; endmodule", "unexpected ']'"),
+        ("module m; wire w;", "unexpected $end"),
+    ])
+    def test_error_messages(self, text, fragment):
+        with pytest.raises(VerilogSyntaxError) as err:
+            parse(text)
+        assert fragment in str(err.value)
+
+    def test_error_has_yosys_format(self):
+        with pytest.raises(VerilogSyntaxError) as err:
+            parse("module m;\nwire [;\nendmodule", filename="./m.v")
+        assert str(err.value).startswith("./m.v:2: ERROR: ")
+
+    def test_missing_module_keyword(self):
+        with pytest.raises(VerilogSyntaxError):
+            parse("wire x;")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [
+        COUNTER,
+        ANSI_ADDER,
+        "module m; reg [7:0] mem [0:15]; endmodule",
+        "module m; assign #2 y = a & b; endmodule",
+        """module fsm (input clk, input rst, output reg [1:0] state);
+        localparam S0 = 0, S1 = 1;
+        always @(posedge clk or negedge rst)
+          if (!rst) state <= S0;
+          else case (state)
+            S0: state <= S1;
+            default: state <= S0;
+          endcase
+        endmodule""",
+        "module t; initial begin : b integer i; end endmodule",
+        "module t; wire y; f u (.a(x), .y(y)); endmodule",
+    ])
+    def test_parse_unparse_parse_stable(self, source):
+        first = parse(source)
+        text1 = unparse(first)
+        second = parse(text1)
+        assert unparse(second) == text1
+
+    def test_unparse_contains_key_constructs(self):
+        text = unparse(parse(COUNTER))
+        assert "always @(posedge clk)" in text
+        assert "count <= 2'd0;" in text
+        assert text.strip().endswith("endmodule")
