@@ -8,6 +8,8 @@ Commands mirror the tool chain a user drives interactively:
 * ``synth``     — gate-level synthesis report
 * ``flow``      — full RTL-to-GDS flow + PPA report
 * ``augment``   — run the augmentation pipeline over Verilog files
+* ``augment-dist`` — sharded/parallel/cache-aware augmentation
+  over files or directories (``--jobs``, ``--cache-dir``)
 * ``agent``     — run the Fig-1 agent loop on a named benchmark problem
 * ``tables``    — regenerate the paper's tables/figures
 """
@@ -82,18 +84,43 @@ def cmd_flow(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
-def cmd_augment(args: argparse.Namespace) -> int:
-    from .core import AugmentationPipeline, PipelineConfig, dataset_stats, render_table2
-    config = PipelineConfig(seed=args.seed)
+def _augment_config(args: argparse.Namespace):
+    from .core import PipelineConfig
     if args.completion_only:
-        config = PipelineConfig.completion_only()
-    corpus = [_read(path) for path in args.files]
-    report = AugmentationPipeline(config).run(corpus)
+        return PipelineConfig.completion_only()
+    return PipelineConfig(seed=args.seed)
+
+
+def _run_augment(args: argparse.Namespace, paths: list[str]) -> int:
+    """Shared driver for ``augment`` and ``augment-dist``.
+
+    Both stream files through :mod:`repro.scale` — sources are read
+    per-shard inside the workers, never held in memory as one corpus —
+    and merge in canonical (content-digest) order, so serial and
+    distributed runs write byte-identical JSONL.
+    """
+    from .core import dataset_stats, render_table2
+    from .scale import augment_distributed
+    from .scale.store import DEFAULT_NUM_SHARDS
+    report = augment_distributed(
+        paths, config=_augment_config(args), jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        num_shards=(args.shards if args.shards is not None
+                    else DEFAULT_NUM_SHARDS))
     print(render_table2(dataset_stats(report.dataset)))
+    print(f"-- {report.summary()}")
     if args.out:
         report.dataset.save(args.out)
         print(f"-- wrote {len(report.dataset)} records to {args.out}")
     return 0
+
+
+def cmd_augment(args: argparse.Namespace) -> int:
+    return _run_augment(args, list(args.files))
+
+
+def cmd_augment_dist(args: argparse.Namespace) -> int:
+    return _run_augment(args, list(args.paths))
 
 
 def cmd_agent(args: argparse.Namespace) -> int:
@@ -156,13 +183,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="clock period in ns")
     p.set_defaults(fn=cmd_flow)
 
+    def add_augment_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--out", help="write records as JSONL")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--completion-only", action="store_true",
+                       help="ablation baseline (general aug)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+        p.add_argument("--cache-dir",
+                       help="shard result cache; re-runs only recompute "
+                            "dirty shards")
+        p.add_argument("--shards", type=int, default=None,
+                       help="shard count for the corpus store")
+
     p = sub.add_parser("augment", help="run the augmentation pipeline")
     p.add_argument("files", nargs="+")
-    p.add_argument("--out", help="write records as JSONL")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--completion-only", action="store_true",
-                   help="ablation baseline (general aug)")
+    add_augment_options(p)
     p.set_defaults(fn=cmd_augment)
+
+    p = sub.add_parser("augment-dist",
+                       help="sharded/parallel/incremental augmentation "
+                            "over files or directories")
+    p.add_argument("paths", nargs="+",
+                   help="Verilog files and/or directories to walk")
+    add_augment_options(p)
+    p.set_defaults(fn=cmd_augment_dist)
 
     p = sub.add_parser("agent", help="Fig-1 agent loop on a benchmark")
     p.add_argument("problem")

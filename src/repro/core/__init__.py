@@ -16,8 +16,10 @@ from .completion import (completion_records, module_level, segment_count,
                          statement_level, token_level)
 from .mutation import (MUTATION_RULES, AppliedMutation, MutationResult,
                        Mutator, mutate)
-from .pipeline import AugmentationPipeline, PipelineConfig, PipelineReport
-from .records import INSTRUCTIONS, Dataset, Record, Task, make_record
+from .pipeline import (AugmentationPipeline, PipelineConfig, PipelineReport,
+                       augment_file, content_seed)
+from .records import (INSTRUCTIONS, Dataset, Record, Task,
+                      atomic_write_text, make_record)
 from .repair import (feedback_repair_records, make_broken_variant,
                      repair_records)
 from .script_aug import script_records
@@ -32,6 +34,7 @@ __all__ = [
     "MUTATION_RULES", "repair_records", "feedback_repair_records",
     "make_broken_variant", "script_records",
     "AugmentationPipeline", "PipelineConfig", "PipelineReport",
+    "augment_file", "content_seed", "atomic_write_text",
     "dataset_stats", "render_table2", "format_size", "TaskStats",
     "PAPER_TABLE2", "TABLE2_ORDER",
 ]

@@ -15,12 +15,14 @@ Table 5 "General Aug") build their completion-only datasets.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from .alignment import alignment_records
 from .completion import completion_records
-from .records import Dataset, Task
+from .records import Dataset, Record, Task
 from .repair import feedback_repair_records, repair_records
 from .script_aug import Describer, script_records
 
@@ -54,6 +56,16 @@ class PipelineConfig:
         return PipelineConfig(completion=False, repair=False,
                               repair_feedback=False, eda_scripts=False)
 
+    def fingerprint(self) -> str:
+        """Stable hash of every knob that affects pipeline output.
+
+        ``repro.scale`` stamps cached shard results with this value, so
+        changing any stage toggle or cap invalidates the whole cache
+        rather than silently serving records built under old settings.
+        """
+        blob = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class PipelineReport:
@@ -65,6 +77,55 @@ class PipelineReport:
     per_task: dict[Task, int] = field(default_factory=dict)
 
 
+def content_seed(text: str, base_seed: int = 0) -> int:
+    """Per-file RNG seed derived from the *content* of ``text``.
+
+    Mixing the pipeline-level seed with a SHA-256 digest of the source
+    makes every downstream random choice (mutation selection, repair
+    variants) a pure function of ``(text, base_seed)``: identical files
+    produce identical records no matter where they sit in the corpus or
+    which worker processes them.  This is what lets ``repro.scale``
+    shard a corpus and still merge byte-identical output.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return (base_seed * 1_000_003
+            + int.from_bytes(digest[:8], "big")) & ((1 << 63) - 1)
+
+
+def augment_file(text: str, config: PipelineConfig | None = None,
+                 seed: int | None = None) -> list[Record]:
+    """Run every per-file stage over one Verilog source.
+
+    Pure function: output depends only on ``(text, config, seed)``.
+    Both the legacy serial :class:`AugmentationPipeline` and the
+    sharded :mod:`repro.scale` runner call this, so the two paths can
+    never drift apart.  ``seed`` defaults to
+    ``content_seed(text, config.seed)``.
+    """
+    config = config or PipelineConfig()
+    if seed is None:
+        seed = content_seed(text, config.seed)
+    records: list[Record] = []
+    if config.completion:
+        records.extend(completion_records(
+            text, statement_cap=config.statement_cap,
+            token_cap=config.token_cap))
+    if config.alignment:
+        records.extend(alignment_records(
+            text, include_partial=config.include_partial_alignment))
+    if config.repair:
+        records.extend(repair_records(
+            text, seed=seed,
+            variants=config.repair_variants,
+            max_mutations=config.max_mutations))
+    if config.repair_feedback:
+        records.extend(feedback_repair_records(
+            text, seed=seed + 7,
+            variants=config.repair_variants,
+            max_mutations=config.max_mutations))
+    return records
+
+
 class AugmentationPipeline:
     """Run the full framework over a corpus of Verilog files."""
 
@@ -74,28 +135,19 @@ class AugmentationPipeline:
     def run(self, verilog_files: Iterable[str],
             eda_scripts: Iterable[str] = (),
             describer: Describer | None = None) -> PipelineReport:
+        """Serially augment ``verilog_files`` (any iterable — it is
+        streamed, never materialised).
+
+        Compat note: per-file seeds used to be derived from the file's
+        *position* in the corpus, so reordering the corpus changed the
+        generated repair pairs.  Seeds are now content-based (see
+        :func:`content_seed`); identical files yield identical records
+        regardless of corpus ordering or duplication.
+        """
         config = self.config
         dataset = Dataset()
-        for position, text in enumerate(verilog_files):
-            file_seed = config.seed * 1_000_003 + position
-            if config.completion:
-                dataset.extend(completion_records(
-                    text, statement_cap=config.statement_cap,
-                    token_cap=config.token_cap))
-            if config.alignment:
-                dataset.extend(alignment_records(
-                    text,
-                    include_partial=config.include_partial_alignment))
-            if config.repair:
-                dataset.extend(repair_records(
-                    text, seed=file_seed,
-                    variants=config.repair_variants,
-                    max_mutations=config.max_mutations))
-            if config.repair_feedback:
-                dataset.extend(feedback_repair_records(
-                    text, seed=file_seed + 7,
-                    variants=config.repair_variants,
-                    max_mutations=config.max_mutations))
+        for text in verilog_files:
+            dataset.extend(augment_file(text, config))
         if config.eda_scripts and eda_scripts:
             if describer is None:
                 from .script_aug import default_describer

@@ -9,6 +9,8 @@ result.  ``Task`` enumerates the seven dataset rows of Table 2.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from enum import Enum
@@ -69,6 +71,20 @@ class Record:
         return json.dumps({"instruct": self.instruct, "input": self.input,
                            "output": self.output}, ensure_ascii=False)
 
+    def to_dict(self) -> dict:
+        """Lossless form (incl. task + meta) for shard caches."""
+        return {"task": self.task.value, "instruct": self.instruct,
+                "input": self.input, "output": self.output,
+                "meta": [list(pair) for pair in self.meta]}
+
+    @staticmethod
+    def from_dict(blob: dict) -> "Record":
+        """Inverse of :meth:`to_dict`."""
+        return Record(task=Task(blob["task"]), instruct=blob["instruct"],
+                      input=blob["input"], output=blob["output"],
+                      meta=tuple((key, value)
+                                 for key, value in blob.get("meta", ())))
+
     @property
     def approx_tokens(self) -> int:
         """Whitespace-token count used for max-length trimming."""
@@ -78,6 +94,25 @@ class Record:
     @property
     def size_bytes(self) -> int:
         return len(self.to_json().encode())
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Durably replace ``path`` with ``text`` (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                    prefix=os.path.basename(path) + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def make_record(task: Task, input_text: str, output_text: str,
@@ -125,10 +160,14 @@ class Dataset:
         return "\n".join(record.to_json() for record in self.records)
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_jsonl())
-            if self.records:
-                handle.write("\n")
+        """Write JSONL atomically (temp file + rename).
+
+        Parent directories are created on demand, and the rename means a
+        concurrent reader — or another shard writer crashing mid-write —
+        can never observe a torn file.
+        """
+        atomic_write_text(path, self.to_jsonl() + ("\n" if self.records
+                                                   else ""))
 
     @staticmethod
     def load(path: str, task: Task) -> "Dataset":

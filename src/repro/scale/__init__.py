@@ -1,0 +1,28 @@
+"""Sharded, parallel, cache-aware augmentation service.
+
+The one-shot :class:`~repro.core.AugmentationPipeline` scaled out:
+
+* :mod:`store`   — lazy corpus discovery + deterministic sharding
+* :mod:`cache`   — content-addressed shard results with a manifest
+* :mod:`runner`  — ``concurrent.futures`` execution of dirty shards
+* :mod:`report`  — merged :class:`ScaleReport` (a ``PipelineReport``)
+* :mod:`service` — the orchestrator behind ``repro augment-dist``
+
+Output is order-, parallelism- and cache-invariant: see
+``ROADMAP.md`` ("repro.scale architecture") for the guarantees.
+"""
+
+from .cache import CACHE_FORMAT_VERSION, ResultCache, shard_key
+from .report import ScaleReport
+from .runner import ShardRunner, run_shard
+from .service import AugmentationService, augment_distributed
+from .store import (DEFAULT_NUM_SHARDS, VERILOG_EXTENSIONS, CorpusStore,
+                    SourceFile, sha256_text, shard_of_path)
+
+__all__ = [
+    "CorpusStore", "SourceFile", "sha256_text", "shard_of_path",
+    "VERILOG_EXTENSIONS", "DEFAULT_NUM_SHARDS",
+    "ResultCache", "shard_key", "CACHE_FORMAT_VERSION",
+    "ShardRunner", "run_shard",
+    "ScaleReport", "AugmentationService", "augment_distributed",
+]

@@ -1,0 +1,145 @@
+"""Content-addressed shard result cache.
+
+Layout under ``cache_dir``::
+
+    manifest.json                  index + config fingerprint + counters
+    shards/shard-<idx>-<key8>.jsonl   one line per source file
+
+Each shard line is ``{"file": <content digest>, "records": [...]}`` with
+records in the lossless :meth:`repro.core.Record.to_dict` form.
+
+Invalidation rules (see ROADMAP "repro.scale architecture"):
+
+* the **cache key** of a shard is a hash of the pipeline-config
+  fingerprint plus the sorted content digests of its members — touching
+  one file changes exactly that file's shard key;
+* a manifest written under a different config fingerprint or format
+  version is discarded wholesale;
+* shard files are written atomically, so a crashed writer leaves either
+  the old entry or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from ..core.records import Record, atomic_write_text
+
+#: Bump when the shard line format changes; invalidates old caches.
+CACHE_FORMAT_VERSION = 1
+
+
+def shard_key(fingerprint: str, digests: list[str]) -> str:
+    """Cache key for one shard: config fingerprint + member contents."""
+    hasher = hashlib.sha256(fingerprint.encode("utf-8"))
+    for digest in sorted(digests):
+        hasher.update(digest.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Manifest-indexed store of per-shard augmentation results."""
+
+    def __init__(self, root: str, fingerprint: str):
+        self.root = root
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self._manifest_path = os.path.join(root, "manifest.json")
+        self._shard_dir = os.path.join(root, "shards")
+        self._shards: dict[str, dict] = {}
+        self._load_manifest()
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self._manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if (manifest.get("version") != CACHE_FORMAT_VERSION
+                or manifest.get("fingerprint") != self.fingerprint):
+            self._clear_shard_files()   # stale config/format: start clean
+            return
+        self._shards = manifest.get("shards", {})
+
+    def _clear_shard_files(self) -> None:
+        """Drop orphaned shard files so stale configs don't pile up."""
+        try:
+            names = os.listdir(self._shard_dir)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith("shard-") and name.endswith(".jsonl"):
+                try:
+                    os.unlink(os.path.join(self._shard_dir, name))
+                except OSError:
+                    pass
+
+    def _shard_path(self, shard_index: int, key: str) -> str:
+        return os.path.join(self._shard_dir,
+                            f"shard-{shard_index:04d}-{key[:8]}.jsonl")
+
+    def lookup(self, shard_index: int,
+               key: str) -> dict[str, list[Record]] | None:
+        """Cached ``digest -> records`` for the shard, or ``None``.
+
+        Updates the hit/miss counters that :meth:`flush` writes into the
+        manifest — a warm re-run is verifiable as ``misses == 0``.
+        """
+        entry = self._shards.get(str(shard_index))
+        if entry is None or entry.get("key") != key:
+            self.misses += 1
+            return None
+        path = os.path.join(self.root, entry["file"])
+        try:
+            results: dict[str, list[Record]] = {}
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    blob = json.loads(line)
+                    results[blob["file"]] = [Record.from_dict(r)
+                                             for r in blob["records"]]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return results
+
+    def store(self, shard_index: int, key: str,
+              results: dict[str, list[Record]]) -> None:
+        """Persist one shard's results and index them in the manifest."""
+        path = self._shard_path(shard_index, key)
+        lines = [json.dumps({"file": digest,
+                             "records": [r.to_dict() for r in records]},
+                            ensure_ascii=False, sort_keys=True)
+                 for digest, records in sorted(results.items())]
+        atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
+        relpath = os.path.relpath(path, self.root)
+        old = self._shards.get(str(shard_index))
+        if (old is not None and old.get("key") != key
+                and old.get("file") != relpath):
+            try:
+                os.unlink(os.path.join(self.root, old["file"]))
+            except OSError:
+                pass
+        self._shards[str(shard_index)] = {
+            "key": key,
+            "files": sorted(results),
+            "file": relpath,
+        }
+
+    def flush(self) -> None:
+        """Atomically write the manifest, including last-run counters."""
+        manifest = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "shards": dict(sorted(self._shards.items())),
+            "last_run": {"hits": self.hits, "misses": self.misses},
+        }
+        atomic_write_text(self._manifest_path,
+                          json.dumps(manifest, indent=2, sort_keys=True)
+                          + "\n")

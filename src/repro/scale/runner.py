@@ -1,0 +1,89 @@
+"""Parallel shard execution over a ``concurrent.futures`` pool.
+
+``ShardRunner`` maps shards onto worker processes (or threads, or the
+calling thread for ``jobs=1``).  Workers re-read each source from disk —
+only paths and digests cross the process boundary going in, and finished
+:class:`~repro.core.Record` lists coming back — so peak memory stays
+bounded by the largest in-flight shard, not the corpus.
+
+Because per-file seeds are content-derived (:func:`repro.core.content_seed`),
+the records a worker produces are independent of which worker ran the
+shard, the shard count, and the submission order: parallelism is purely a
+wall-clock optimisation and never changes output.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections.abc import Callable, Iterable
+
+from ..core.pipeline import PipelineConfig, augment_file
+from ..core.records import Record
+from .store import SourceFile, sha256_text
+
+
+def run_shard(members: list[tuple[str, str]],
+              config: PipelineConfig) -> dict[str, list[Record]]:
+    """Augment one shard: ``[(digest, path), ...] -> digest -> records``.
+
+    Module-level (picklable) so it can run in a process pool.  Duplicate
+    contents within a shard are computed once.
+    """
+    results: dict[str, list[Record]] = {}
+    for digest, path in members:
+        if digest in results:
+            continue
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        if sha256_text(text) != digest:
+            raise RuntimeError(
+                f"{path} changed on disk mid-run (digest mismatch); "
+                f"re-run to pick up the new content")
+        results[digest] = augment_file(text, config)
+    return results
+
+
+class ShardRunner:
+    """Execute shards across a worker pool.
+
+    ``jobs <= 1`` runs in-process (no pool, no pickling); ``jobs > 1``
+    uses a :class:`~concurrent.futures.ProcessPoolExecutor` by default,
+    or threads when ``use_threads=True`` (useful where fork is
+    unavailable or the workload is I/O bound).
+    """
+
+    def __init__(self, config: PipelineConfig | None = None, jobs: int = 1,
+                 use_threads: bool = False):
+        self.config = config or PipelineConfig()
+        self.jobs = max(1, jobs)
+        self.use_threads = use_threads
+
+    def run(self, shards: dict[int, list[SourceFile]],
+            on_shard_done: Callable[[int, dict[str, list[Record]]], None]
+            | None = None) -> dict[int, dict[str, list[Record]]]:
+        """Augment every shard; returns ``shard -> digest -> records``.
+
+        ``on_shard_done`` fires as each shard completes (in completion
+        order) — the service uses it to write cache entries eagerly so
+        an interrupted run still warms the cache for finished shards.
+        """
+        payloads = {index: [(s.digest, s.path) for s in members]
+                    for index, members in shards.items()}
+        results: dict[int, dict[str, list[Record]]] = {}
+        if self.jobs == 1 or len(payloads) <= 1:
+            for index, members in payloads.items():
+                results[index] = run_shard(members, self.config)
+                if on_shard_done is not None:
+                    on_shard_done(index, results[index])
+            return results
+        pool_cls = (concurrent.futures.ThreadPoolExecutor if self.use_threads
+                    else concurrent.futures.ProcessPoolExecutor)
+        with pool_cls(max_workers=min(self.jobs, len(payloads))) as pool:
+            futures = {pool.submit(run_shard, members, self.config): index
+                       for index, members in payloads.items()}
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if on_shard_done is not None:
+                    on_shard_done(index, results[index])
+        return results

@@ -1,0 +1,107 @@
+"""Lazy corpus discovery and deterministic sharding.
+
+``CorpusStore`` walks the given files/directories, hashes each source and
+assigns it to a shard.  Two hashes play different roles:
+
+* **identity digest** — SHA-256 of the file's resolved *path*.  Shard
+  membership is keyed on identity, so editing a file keeps it in the same
+  shard (only that shard's cache key changes → exactly one shard is
+  recomputed).
+* **content digest** — SHA-256 of the file's *text*.  Cache keys, per-file
+  seeds and the canonical merge order are keyed on content, so results are
+  invariant under corpus reordering and duplication.
+
+Discovery streams: each file is read once to hash it and the text is
+dropped immediately — the corpus never sits in memory as a whole.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+#: File suffixes treated as Verilog sources when walking directories.
+VERILOG_EXTENSIONS = (".v", ".sv", ".vh", ".svh")
+
+DEFAULT_NUM_SHARDS = 16
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One discovered corpus member."""
+
+    path: str      #: resolved absolute path
+    digest: str    #: SHA-256 of the file content
+    order: int     #: discovery index (stable tie-break for duplicates)
+    shard: int     #: shard index this file belongs to
+
+    def read(self) -> str:
+        with open(self.path, encoding="utf-8") as handle:
+            return handle.read()
+
+
+def shard_of_path(path: str, num_shards: int) -> int:
+    """Deterministic shard index from a file's identity (its path)."""
+    digest = hashlib.sha256(os.path.abspath(path).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class CorpusStore:
+    """Discover Verilog sources lazily and group them into shards."""
+
+    def __init__(self, paths: Iterable[str],
+                 num_shards: int = DEFAULT_NUM_SHARDS,
+                 extensions: tuple[str, ...] = VERILOG_EXTENSIONS):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.paths = list(paths)
+        self.num_shards = num_shards
+        self.extensions = extensions
+        self._files: list[SourceFile] | None = None
+
+    def _walk(self) -> Iterator[str]:
+        """Explicit files as given; directories walked in sorted order."""
+        for path in self.paths:
+            if os.path.isdir(path):
+                for root, dirs, names in os.walk(path):
+                    dirs.sort()
+                    for name in sorted(names):
+                        if name.endswith(self.extensions):
+                            yield os.path.join(root, name)
+            else:
+                yield path
+
+    def discover(self) -> list[SourceFile]:
+        """Hash every source (cached after the first call)."""
+        if self._files is None:
+            files = []
+            for order, path in enumerate(self._walk()):
+                resolved = os.path.abspath(path)
+                with open(resolved, encoding="utf-8") as handle:
+                    digest = sha256_text(handle.read())
+                files.append(SourceFile(
+                    path=resolved, digest=digest, order=order,
+                    shard=shard_of_path(resolved, self.num_shards)))
+            self._files = files
+        return self._files
+
+    def shards(self) -> dict[int, list[SourceFile]]:
+        """Non-empty shards, files in deterministic (content) order."""
+        grouped: dict[int, list[SourceFile]] = {}
+        for source in self.discover():
+            grouped.setdefault(source.shard, []).append(source)
+        for members in grouped.values():
+            members.sort(key=lambda s: (s.digest, s.order))
+        return dict(sorted(grouped.items()))
+
+    def merge_order(self) -> list[SourceFile]:
+        """Canonical output order: by content digest, then discovery
+        index — identical no matter how the corpus was listed or split
+        across workers."""
+        return sorted(self.discover(), key=lambda s: (s.digest, s.order))
