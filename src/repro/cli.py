@@ -11,7 +11,12 @@ Commands mirror the tool chain a user drives interactively:
 * ``augment-dist`` — sharded/parallel/cache-aware augmentation
   over files or directories (``--jobs``, ``--cache-dir``)
 * ``agent``     — run the Fig-1 agent loop on a named benchmark problem
-* ``tables``    — regenerate the paper's tables/figures
+* ``evaluate``  — run one benchmark suite on the shared evaluation
+  engine (``--suite``, ``--models``, ``--jobs``, ``--cache-dir``,
+  ``--k``)
+* ``tables``    — regenerate the paper's tables/figures (``--only``
+  computes just the requested ones; ``--jobs``/``--cache-dir`` reach
+  Tables 3–5 through the engine)
 """
 
 from __future__ import annotations
@@ -140,13 +145,76 @@ def cmd_agent(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _eval_engine(args: argparse.Namespace):
+    from .eval import EvalEngine
+    return EvalEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
-    from .experiments import run_all
-    results = run_all(quick=not args.full)
-    wanted = args.only.split(",") if args.only else list(results)
-    for name in wanted:
+    from .experiments import EXPERIMENTS, run_selected
+    names = args.only.split(",") if args.only else None
+    # Validate ids up front so execution errors keep their tracebacks.
+    unknown = [n for n in names or () if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s) {', '.join(unknown)}; "
+              f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    results = run_selected(names, quick=not args.full,
+                           engine=_eval_engine(args))
+    for name, text in results.items():
         print(f"\n{'=' * 72}\n{name.upper()}\n{'=' * 72}")
-        print(results[name])
+        print(text)
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from .bench import GENERATION_SUITES, generation_suite, scgen_suite
+    from .eval import (evaluate_generation, evaluate_repair,
+                       evaluate_scripts, render_table3, render_table4,
+                       render_table5)
+    from .llm import (TABLE3_MODEL_ORDER, TABLE4_MODEL_ORDER,
+                      TABLE5_MODEL_ORDER, get_model)
+    engine = _eval_engine(args)
+    # Sample budget: candidates per cell, or max attempts for scripts
+    # (the paper's pass@10).
+    samples = args.samples if args.samples is not None \
+        else (10 if args.suite == "scripts" else 5)
+    if args.suite in GENERATION_SUITES:
+        names = args.models.split(",") if args.models \
+            else list(TABLE5_MODEL_ORDER)
+        problems = list(generation_suite(args.suite))
+        levels = tuple(args.levels.split(",")) if args.levels \
+            else ("low", "middle", "high")
+        report = evaluate_generation(
+            [get_model(name) for name in names], problems,
+            levels=levels, n_samples=samples, engine=engine)
+        thakur_names = [p.name for p in problems if p.suite == "thakur"]
+        rtllm_names = [p.name for p in problems if p.suite == "rtllm"]
+        rendered = render_table5(report, thakur_names, rtllm_names,
+                                 levels=levels, pass_k=args.k)
+    elif args.suite == "repair":
+        from .bench import rtllm_suite
+        names = args.models.split(",") if args.models \
+            else list(TABLE3_MODEL_ORDER)
+        problems = list(rtllm_suite())
+        report = evaluate_repair([get_model(name) for name in names],
+                                 problems, seed=args.seed,
+                                 n_samples=samples, engine=engine)
+        rendered = render_table3(report, [p.name for p in problems])
+    else:   # scripts
+        names = args.models.split(",") if args.models \
+            else list(TABLE4_MODEL_ORDER)
+        tasks = list(scgen_suite())
+        report = evaluate_scripts([get_model(name) for name in names],
+                                  tasks, max_attempts=samples,
+                                  engine=engine)
+        rendered = render_table4(report, [t.name for t in tasks])
+    print(rendered)
+    print(f"-- {engine.stats.summary()}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"-- wrote report to {args.out}")
     return 0
 
 
@@ -216,10 +284,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the flow on the surviving design")
     p.set_defaults(fn=cmd_agent)
 
+    def add_engine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for benchmark cells "
+                            "(default 1 = serial)")
+        p.add_argument("--cache-dir",
+                       help="persistent eval cell cache; warm re-runs "
+                            "recompute nothing")
+
     p = sub.add_parser("tables", help="regenerate paper tables/figures")
     p.add_argument("--full", action="store_true")
     p.add_argument("--only", help="comma-separated ids, e.g. table5,fig3")
+    add_engine_options(p)
     p.set_defaults(fn=cmd_tables)
+
+    # Mirrors repro.bench.EVAL_SUITES (kept literal so parser construction
+    # stays import-light; test_eval_engine pins the two together).
+    EVAL_SUITES = ("generation", "rtllm", "rtllm-full", "thakur",
+                   "repair", "scripts")
+    p = sub.add_parser("evaluate",
+                       help="run one benchmark suite on the shared "
+                            "evaluation engine")
+    p.add_argument("--suite", choices=EVAL_SUITES, default="generation",
+                   help="benchmark suite id (default: generation = "
+                        "the full Table-5 problem set)")
+    p.add_argument("--models",
+                   help="comma-separated model names (default: the "
+                        "suite's paper column order)")
+    p.add_argument("--samples", type=int, default=None,
+                   help="samples per cell (default 5; max attempts for "
+                        "scripts, default 10)")
+    p.add_argument("--k", type=int, default=5,
+                   help="k for the report's pass@k rows")
+    p.add_argument("--levels",
+                   help="comma-separated prompt levels "
+                        "(generation suites; default low,middle,high)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="benchmark-construction seed (repair suite)")
+    p.add_argument("--out", help="also write the report to this file")
+    add_engine_options(p)
+    p.set_defaults(fn=cmd_evaluate)
     return parser
 
 

@@ -1,7 +1,10 @@
-"""Evaluation harness: pass@k, generation/repair/script evals, renderers."""
+"""Evaluation harness: the shared engine, pass@k, suite evals, renderers."""
 
+from .engine import (EVAL_CACHE_VERSION, EngineStats, EvalCache, EvalEngine,
+                     EvalTask, engine_fingerprint, payload_digest,
+                     profile_digest, run_eval_task)
 from .passk import format_pct, pass_at_k, success_rate
-from .repair_eval import (BrokenCase, RepairCell, RepairReport,
+from .repair_eval import (BrokenCase, RepairCell, RepairReport, case_seed,
                           evaluate_repair, evaluate_repair_cell,
                           make_broken_case)
 from .reporting import (render_table1, render_table3, render_table4,
@@ -13,11 +16,14 @@ from .verilog_eval import (CandidateResult, CellResult, GenerationReport,
                            evaluate_generation)
 
 __all__ = [
+    "EvalEngine", "EvalTask", "EvalCache", "EngineStats", "run_eval_task",
+    "engine_fingerprint", "payload_digest", "profile_digest",
+    "EVAL_CACHE_VERSION",
     "pass_at_k", "success_rate", "format_pct",
     "evaluate_candidate", "evaluate_cell", "evaluate_generation",
     "CandidateResult", "CellResult", "GenerationReport", "clear_cache",
-    "make_broken_case", "evaluate_repair", "evaluate_repair_cell",
-    "BrokenCase", "RepairCell", "RepairReport",
+    "make_broken_case", "case_seed", "evaluate_repair",
+    "evaluate_repair_cell", "BrokenCase", "RepairCell", "RepairReport",
     "iterations_to_correct", "evaluate_scripts", "IterationResult",
     "ScriptReport",
     "render_table1", "render_table3", "render_table4", "render_table5",

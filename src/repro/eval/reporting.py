@@ -38,8 +38,10 @@ def _display(model: str) -> str:
 
 def render_table5(report: GenerationReport,
                   thakur_names: list[str], rtllm_names: list[str],
-                  levels: tuple[str, ...] = PROMPT_LEVELS) -> str:
-    """Paper Table 5: Thakur rows (triple cells) + RTLLM rows + totals."""
+                  levels: tuple[str, ...] = PROMPT_LEVELS,
+                  pass_k: int = 5) -> str:
+    """Paper Table 5: Thakur rows (triple cells) + RTLLM rows + totals,
+    plus overall pass@1 / pass@k rows."""
     models = list(report.cells)
     syn_w, fn_w = 9, 18
     col_w = syn_w + fn_w
@@ -81,6 +83,12 @@ def render_table5(report: GenerationReport,
         f"{'':>{syn_w}}"
         f"{format_pct(report.success_rate(m, all_names)):>{fn_w}}"
         for m in models))
+    ks = [1] if pass_k <= 1 else [1, pass_k]
+    for k in ks:
+        lines.append(f"{f'pass@{k}':<18}" + "".join(
+            f"{'':>{syn_w}}"
+            f"{format_pct(report.pass_at_k(m, k, all_names)):>{fn_w}}"
+            for m in models))
     return "\n".join(lines)
 
 

@@ -5,6 +5,10 @@ runner (real Python compile + mini-SiliconCompiler execution + task
 expectation) judges each one.  The reported numbers are the first
 iteration with correct *syntax* and with correct *function* under
 pass@10 — ``None`` renders as the paper's ``>10``.
+
+Each (model, task) pair is one :class:`EvalTask` on the shared
+evaluation engine, so the Table-4 sweep parallelises and caches like
+the generation/repair sweeps.
 """
 
 from __future__ import annotations
@@ -27,6 +31,16 @@ class IterationResult:
     def render(iteration: int | None, max_attempts: int = 10) -> str:
         return str(iteration) if iteration is not None \
             else f">{max_attempts}"
+
+    def to_dict(self) -> dict:
+        return {"syntax_iteration": self.syntax_iteration,
+                "function_iteration": self.function_iteration}
+
+    @staticmethod
+    def from_dict(blob: dict) -> "IterationResult":
+        return IterationResult(
+            syntax_iteration=blob["syntax_iteration"],
+            function_iteration=blob["function_iteration"])
 
 
 @dataclass
@@ -68,12 +82,18 @@ def iterations_to_correct(model: BehavioralModel, task: ScriptTask,
 
 def evaluate_scripts(models: list[BehavioralModel],
                      tasks: list[ScriptTask],
-                     max_attempts: int = 10) -> ScriptReport:
-    """Full Table-4 sweep."""
+                     max_attempts: int = 10, engine=None) -> ScriptReport:
+    """Full Table-4 sweep on the shared engine."""
+    from .engine import EvalEngine, EvalTask
+    engine = engine if engine is not None else EvalEngine()
+    eval_tasks = [EvalTask(kind="script", model=model, payload=task,
+                           level="", n_samples=max_attempts)
+                  for model in models for task in tasks]
+    blobs = iter(engine.run(eval_tasks))
     report = ScriptReport(max_attempts=max_attempts)
     for model in models:
         report.results[model.name] = {
-            task.name: iterations_to_correct(model, task, max_attempts)
+            task.name: IterationResult.from_dict(next(blobs))
             for task in tasks
         }
     return report

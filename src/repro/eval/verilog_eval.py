@@ -4,8 +4,14 @@ For every (model, problem, prompt level) cell the harness draws five
 samples, counts **syntax** failures with the yosys-style checker and takes
 the best testbench **function** pass fraction — exactly the two numbers
 each Table 5 cell reports.  Verdicts are produced only by the checker and
-simulator; results are memoised per (problem, candidate) since correct
-candidates repeat.
+simulator; results are memoised per (problem, candidate) in a bounded
+LRU since correct candidates repeat.
+
+The full sweep is executed by the shared evaluation engine
+(:mod:`repro.eval.engine`): every cell becomes an :class:`EvalTask` on a
+work pool, so ``evaluate_generation`` parallelises across cells and can
+serve warm re-runs from the engine's on-disk cache — with output
+byte-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -16,13 +22,19 @@ from dataclasses import dataclass, field
 from ..bench.problems import PROMPT_LEVELS, Problem
 from ..checker import check_source
 from ..llm.behavioral import BehavioralModel
+from ..scale.cache import LRUCache
 from ..sim import run_testbench
+from .passk import pass_at_k
 
 
 @dataclass(frozen=True)
 class CandidateResult:
     syntax_ok: bool
     pass_fraction: float
+
+    @property
+    def passed(self) -> bool:
+        return self.syntax_ok and self.pass_fraction >= 0.999
 
 
 @dataclass
@@ -32,10 +44,23 @@ class CellResult:
     syntax_errors: int
     function_rate: float
     samples: int = 5
+    passes: int = 0     #: samples that fully passed the testbench
 
     @property
     def solved(self) -> bool:
         return self.function_rate >= 0.999
+
+    def to_dict(self) -> dict:
+        return {"syntax_errors": self.syntax_errors,
+                "function_rate": self.function_rate,
+                "samples": self.samples, "passes": self.passes}
+
+    @staticmethod
+    def from_dict(blob: dict) -> "CellResult":
+        return CellResult(syntax_errors=blob["syntax_errors"],
+                          function_rate=blob["function_rate"],
+                          samples=blob.get("samples", 5),
+                          passes=blob.get("passes", 0))
 
 
 @dataclass
@@ -61,14 +86,38 @@ class GenerationReport:
         solved = sum(self.problem_solved(model, name) for name in names)
         return solved / len(names)
 
+    def pass_at_k(self, model: str, k: int = 1,
+                  problems: list[str] | None = None,
+                  levels: tuple[str, ...] | None = None) -> float:
+        """Mean unbiased pass@k over every (problem, level) cell."""
+        names = problems if problems is not None \
+            else list(self.cells[model])
+        cells = [cell
+                 for name in names
+                 for level, cell in self.cells[model][name].items()
+                 if levels is None or level in levels]
+        if not cells:
+            return 0.0
+        return sum(pass_at_k(c.samples, min(c.passes, c.samples), k)
+                   for c in cells) / len(cells)
 
-_CACHE: dict[tuple[str, str], CandidateResult] = {}
+
+#: In-memory layer of candidate memoisation.  Bounded (LRU) so sweeps
+#: over arbitrarily many candidates cannot grow without limit; the
+#: persistent layer is the engine's on-disk cell cache.
+_CANDIDATE_CACHE_SIZE = 4096
+_CACHE: LRUCache[tuple[str, str], CandidateResult] = \
+    LRUCache(maxsize=_CANDIDATE_CACHE_SIZE)
 
 
 def evaluate_candidate(code: str, problem: Problem) -> CandidateResult:
     """Syntax-check then simulate one candidate against the testbench."""
+    # The verdict depends on the candidate AND the problem's testbench —
+    # hashing both keeps memoisation honest if a problem is edited
+    # in-process under an unchanged name.
     key = (problem.name,
-           hashlib.sha256(code.encode()).hexdigest())
+           hashlib.sha256(f"{problem.testbench}\x1f{code}"
+                          .encode()).hexdigest())
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
@@ -82,7 +131,7 @@ def evaluate_candidate(code: str, problem: Problem) -> CandidateResult:
         else:
             result = CandidateResult(syntax_ok=True,
                                      pass_fraction=verdict.pass_fraction)
-    _CACHE[key] = result
+    _CACHE.put(key, result)
     return result
 
 
@@ -93,27 +142,44 @@ def evaluate_cell(model: BehavioralModel, problem: Problem, level: str,
         problem.reference, problem.tier, problem.difficulty, level=level,
         n_samples=n_samples, problem_name=problem.name)
     syntax_errors = 0
+    passes = 0
     best = 0.0
     for code in samples:
         outcome = evaluate_candidate(code, problem)
         if not outcome.syntax_ok:
             syntax_errors += 1
+        if outcome.passed:
+            passes += 1
         best = max(best, outcome.pass_fraction)
     return CellResult(syntax_errors=syntax_errors, function_rate=best,
-                      samples=n_samples)
+                      samples=n_samples, passes=passes)
 
 
 def evaluate_generation(models: list[BehavioralModel],
                         problems: list[Problem],
                         levels: tuple[str, ...] = PROMPT_LEVELS,
-                        n_samples: int = 5) -> GenerationReport:
-    """Full Table-5 style sweep."""
+                        n_samples: int = 5,
+                        engine=None) -> GenerationReport:
+    """Full Table-5 style sweep through the shared evaluation engine.
+
+    ``engine`` is an :class:`repro.eval.engine.EvalEngine` (defaults to a
+    serial, uncached one).  The report is byte-identical regardless of
+    the engine's ``jobs`` setting or cache state.
+    """
+    from .engine import EvalEngine, EvalTask
+    engine = engine if engine is not None else EvalEngine()
+    tasks = [EvalTask(kind="generation", model=model, payload=problem,
+                      level=level, n_samples=n_samples)
+             for model in models
+             for problem in problems
+             for level in levels]
+    blobs = iter(engine.run(tasks))
     report = GenerationReport()
     for model in models:
         model_cells: dict[str, dict[str, CellResult]] = {}
         for problem in problems:
             model_cells[problem.name] = {
-                level: evaluate_cell(model, problem, level, n_samples)
+                level: CellResult.from_dict(next(blobs))
                 for level in levels
             }
         report.cells[model.name] = model_cells
@@ -121,4 +187,5 @@ def evaluate_generation(models: list[BehavioralModel],
 
 
 def clear_cache() -> None:
+    """Test hook: drop the in-memory candidate verdict layer."""
     _CACHE.clear()

@@ -4,7 +4,7 @@ from .fig2 import Fig2Result, run_fig2
 from .fig3 import Fig3Result, run_fig3
 from .fig5 import Fig5Result, run_fig5
 from .fig7 import Fig7Result, run_fig7
-from .runner import run_all
+from .runner import EXPERIMENTS, run_all, run_selected
 from .table2 import Table2Result, run_table2
 from .table3 import PAPER_SUCCESS as TABLE3_PAPER_SUCCESS
 from .table3 import Table3Result, run_table3
@@ -15,6 +15,7 @@ from .table5 import Table5Result, run_table5
 __all__ = [
     "run_table2", "run_table3", "run_table4", "run_table5",
     "run_fig2", "run_fig3", "run_fig5", "run_fig7", "run_all",
+    "run_selected", "EXPERIMENTS",
     "Table2Result", "Table3Result", "Table4Result", "Table5Result",
     "Fig2Result", "Fig3Result", "Fig5Result", "Fig7Result",
     "TABLE3_PAPER_SUCCESS", "TABLE5_PAPER_SUCCESS",

@@ -1,6 +1,14 @@
-"""Run every experiment and collect the rendered tables/figures."""
+"""Experiment dispatch: run selected tables/figures, lazily.
+
+``EXPERIMENTS`` maps every experiment id to a thunk; ``run_selected``
+computes *only* the requested ones (``repro tables --only table5`` no
+longer sweeps all nine).  The benchmark-table thunks accept the shared
+evaluation engine so ``--jobs``/``--cache-dir`` reach Tables 3–5.
+"""
 
 from __future__ import annotations
+
+from collections.abc import Callable, Iterable
 
 from ..eval import render_table1
 from .fig2 import run_fig2
@@ -12,20 +20,41 @@ from .table3 import run_table3
 from .table4 import run_table4
 from .table5 import run_table5
 
+#: id → thunk(quick, engine) rendering one experiment.  The figure and
+#: Table-1/2 thunks ignore ``engine``; Tables 3–5 evaluate through it.
+EXPERIMENTS: dict[str, Callable[..., str]] = {
+    "table1": lambda quick=True, engine=None: render_table1(),
+    "table2": lambda quick=True, engine=None:
+        run_table2(quick=quick).rendered,
+    "table3": lambda quick=True, engine=None:
+        run_table3(quick=quick, engine=engine).rendered,
+    "table4": lambda quick=True, engine=None:
+        run_table4(quick=quick, engine=engine).rendered,
+    "table5": lambda quick=True, engine=None:
+        run_table5(quick=quick, engine=engine).rendered,
+    "fig2": lambda quick=True, engine=None: run_fig2(quick=quick).rendered,
+    "fig3": lambda quick=True, engine=None: run_fig3(quick=quick).rendered,
+    "fig5": lambda quick=True, engine=None: run_fig5(quick=quick).rendered,
+    "fig7": lambda quick=True, engine=None: run_fig7(quick=quick).rendered,
+}
 
-def run_all(quick: bool = True) -> dict[str, str]:
+
+def run_selected(names: Iterable[str] | None = None, quick: bool = True,
+                 engine=None) -> dict[str, str]:
+    """Render the requested experiments (all of them when ``names`` is
+    None), computing nothing else."""
+    wanted = list(EXPERIMENTS) if names is None else list(names)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment(s) {', '.join(unknown)}; "
+                       f"available: {', '.join(EXPERIMENTS)}")
+    return {name: EXPERIMENTS[name](quick=quick, engine=engine)
+            for name in wanted}
+
+
+def run_all(quick: bool = True, engine=None) -> dict[str, str]:
     """Every table and figure, rendered; quick mode trims sweep sizes."""
-    return {
-        "table1": render_table1(),
-        "table2": run_table2(quick=quick).rendered,
-        "table3": run_table3(quick=quick).rendered,
-        "table4": run_table4(quick=quick).rendered,
-        "table5": run_table5(quick=quick).rendered,
-        "fig2": run_fig2(quick=quick).rendered,
-        "fig3": run_fig3(quick=quick).rendered,
-        "fig5": run_fig5(quick=quick).rendered,
-        "fig7": run_fig7(quick=quick).rendered,
-    }
+    return run_selected(None, quick=quick, engine=engine)
 
 
 def main() -> None:
@@ -34,10 +63,11 @@ def main() -> None:
         description="Regenerate every table/figure of the paper")
     parser.add_argument("--full", action="store_true",
                         help="full-size sweeps (slower)")
-    parser.add_argument("--only", help="single experiment id, e.g. table5")
+    parser.add_argument("--only",
+                        help="comma-separated ids, e.g. table5,fig3")
     args = parser.parse_args()
-    results = run_all(quick=not args.full) if args.only is None else {
-        args.only: run_all(quick=not args.full)[args.only]}
+    names = args.only.split(",") if args.only else None
+    results = run_selected(names, quick=not args.full)
     for name, text in results.items():
         print(f"\n{'=' * 72}\n{name.upper()}\n{'=' * 72}")
         print(text)

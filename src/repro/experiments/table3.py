@@ -30,13 +30,13 @@ class Table3Result:
 
 
 def run_table3(seed: int = 0, n_samples: int = 5,
-               quick: bool = False) -> Table3Result:
+               quick: bool = False, engine=None) -> Table3Result:
     problems = list(rtllm_suite())
     if quick:
         problems = problems[::3]
         n_samples = 3
     models = [get_model(name) for name in TABLE3_MODEL_ORDER]
     report = evaluate_repair(models, problems, seed=seed,
-                             n_samples=n_samples)
+                             n_samples=n_samples, engine=engine)
     rendered = render_table3(report, [p.name for p in problems])
     return Table3Result(report=report, rendered=rendered)

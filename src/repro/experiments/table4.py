@@ -30,12 +30,13 @@ class Table4Result:
 
 
 def run_table4(max_attempts: int = 10,
-               quick: bool = False) -> Table4Result:
+               quick: bool = False, engine=None) -> Table4Result:
     tasks = list(scgen_suite())
     models = [get_model(name) for name in TABLE4_MODEL_ORDER]
     if quick:
         models = [get_model(name)
                   for name in ("gpt-3.5", "ours-13b", "llama2-13b")]
-    report = evaluate_scripts(models, tasks, max_attempts=max_attempts)
+    report = evaluate_scripts(models, tasks, max_attempts=max_attempts,
+                              engine=engine)
     rendered = render_table4(report, [t.name for t in tasks])
     return Table4Result(report=report, rendered=rendered)

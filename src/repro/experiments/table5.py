@@ -49,7 +49,8 @@ class Table5Result:
 
 
 def run_table5(n_samples: int = 5, quick: bool = False,
-               models: list[str] | None = None) -> Table5Result:
+               models: list[str] | None = None,
+               engine=None) -> Table5Result:
     levels = PROMPT_LEVELS if not quick else ("middle",)
     if quick:
         n_samples = 3
@@ -57,7 +58,7 @@ def run_table5(n_samples: int = 5, quick: bool = False,
     problems = list(thakur_suite()) + list(rtllm_table5_subset())
     report = evaluate_generation(
         [get_model(name) for name in model_names], problems,
-        levels=levels, n_samples=n_samples)
+        levels=levels, n_samples=n_samples, engine=engine)
     thakur_names = [p.name for p in thakur_suite()]
     rtllm_names = [p.name for p in rtllm_table5_subset()]
     rendered = render_table5(report, thakur_names, rtllm_names,

@@ -1,10 +1,13 @@
-"""Sharded, parallel, cache-aware augmentation service.
+"""Sharded, parallel, cache-aware execution infrastructure.
 
-The one-shot :class:`~repro.core.AugmentationPipeline` scaled out:
+The one-shot :class:`~repro.core.AugmentationPipeline` scaled out —
+and the generic work-pool + content-addressed-cache layer that the
+evaluation engine (:mod:`repro.eval.engine`) builds on:
 
 * :mod:`store`   — lazy corpus discovery + deterministic sharding
-* :mod:`cache`   — content-addressed shard results with a manifest
-* :mod:`runner`  — ``concurrent.futures`` execution of dirty shards
+* :mod:`cache`   — :class:`ManifestCache` (generic), :class:`ResultCache`
+  (augmentation shards), :class:`LRUCache` (bounded in-memory layer)
+* :mod:`runner`  — :class:`WorkPool` (generic) + :class:`ShardRunner`
 * :mod:`report`  — merged :class:`ScaleReport` (a ``PipelineReport``)
 * :mod:`service` — the orchestrator behind ``repro augment-dist``
 
@@ -12,9 +15,10 @@ Output is order-, parallelism- and cache-invariant: see
 ``ROADMAP.md`` ("repro.scale architecture") for the guarantees.
 """
 
-from .cache import CACHE_FORMAT_VERSION, ResultCache, shard_key
+from .cache import (CACHE_FORMAT_VERSION, LRUCache, ManifestCache,
+                    ResultCache, shard_key)
 from .report import ScaleReport
-from .runner import ShardRunner, run_shard
+from .runner import ShardRunner, WorkPool, run_shard
 from .service import AugmentationService, augment_distributed
 from .store import (DEFAULT_NUM_SHARDS, VERILOG_EXTENSIONS, CorpusStore,
                     SourceFile, sha256_text, shard_of_path)
@@ -22,7 +26,8 @@ from .store import (DEFAULT_NUM_SHARDS, VERILOG_EXTENSIONS, CorpusStore,
 __all__ = [
     "CorpusStore", "SourceFile", "sha256_text", "shard_of_path",
     "VERILOG_EXTENSIONS", "DEFAULT_NUM_SHARDS",
-    "ResultCache", "shard_key", "CACHE_FORMAT_VERSION",
-    "ShardRunner", "run_shard",
+    "ManifestCache", "ResultCache", "LRUCache", "shard_key",
+    "CACHE_FORMAT_VERSION",
+    "WorkPool", "ShardRunner", "run_shard",
     "ScaleReport", "AugmentationService", "augment_distributed",
 ]

@@ -1,21 +1,26 @@
-"""Content-addressed shard result cache.
+"""Content-addressed, manifest-indexed result caches.
 
-Layout under ``cache_dir``::
+:class:`ManifestCache` is the generic layer: a directory of atomically
+written entry files indexed by ``manifest.json``.  Every entry lives in a
+*slot* (a stable identity — "which piece of work") and is stamped with a
+*key* (a content hash — "computed from what").  A lookup whose key no
+longer matches is a miss, so touching one input invalidates exactly the
+slots derived from it, while a fingerprint or format-version change
+discards the whole cache.
 
-    manifest.json                  index + config fingerprint + counters
-    shards/shard-<idx>-<key8>.jsonl   one line per source file
+Two subclasses specialise the payload encoding:
 
-Each shard line is ``{"file": <content digest>, "records": [...]}`` with
-records in the lossless :meth:`repro.core.Record.to_dict` form.
+* :class:`ResultCache` — augmentation shards (``digest -> records`` in
+  JSONL, one line per source file), used by ``repro augment-dist``;
+* ``repro.eval.engine.EvalCache`` — one JSON blob per benchmark cell.
 
 Invalidation rules (see ROADMAP "repro.scale architecture"):
 
-* the **cache key** of a shard is a hash of the pipeline-config
-  fingerprint plus the sorted content digests of its members — touching
-  one file changes exactly that file's shard key;
-* a manifest written under a different config fingerprint or format
-  version is discarded wholesale;
-* shard files are written atomically, so a crashed writer leaves either
+* a slot's **key** hashes the config fingerprint plus the content of its
+  inputs — touching one input changes exactly the affected keys;
+* a manifest written under a different fingerprint or format version is
+  discarded wholesale;
+* entry files are written atomically, so a crashed writer leaves either
   the old entry or the new one, never a torn file.
 """
 
@@ -24,11 +29,178 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
+from typing import Generic, TypeVar
 
 from ..core.records import Record, atomic_write_text
 
 #: Bump when the shard line format changes; invalidates old caches.
 CACHE_FORMAT_VERSION = 1
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded in-memory cache with least-recently-used eviction.
+
+    The in-memory layer of the evaluation engine (candidate verdict
+    memoisation) uses this so long sweeps cannot grow without limit.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[K, V] = OrderedDict()
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key: K, value: V) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+
+class ManifestCache:
+    """Manifest-indexed store of per-slot results.
+
+    Subclasses set the class attributes below and implement
+    :meth:`_encode` / :meth:`_decode`; everything else — manifest
+    validation, stale-file pruning, atomic writes, hit/miss accounting —
+    is shared.
+    """
+
+    #: Format version written into (and required of) the manifest.
+    version: int = 1
+    #: Subdirectory of ``root`` holding the entry files.
+    subdir: str = "entries"
+    #: Entry file name pieces: ``<prefix><slot>-<key8><suffix>``.
+    file_prefix: str = "entry-"
+    file_suffix: str = ".json"
+    #: Manifest key for the slot index (kept as ``"shards"`` by the
+    #: augmentation cache for backward compatibility).
+    entries_field: str = "entries"
+
+    def __init__(self, root: str, fingerprint: str):
+        self.root = root
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self._manifest_path = os.path.join(root, "manifest.json")
+        self._entry_dir = os.path.join(root, self.subdir)
+        self._entries: dict[str, dict] = {}
+        self._load_manifest()
+
+    # -- serialisation hooks ----------------------------------------------
+
+    def _encode(self, payload) -> str:
+        raise NotImplementedError
+
+    def _decode(self, text: str):
+        raise NotImplementedError
+
+    def _entry_meta(self, payload) -> dict:
+        """Extra manifest metadata recorded alongside an entry."""
+        return {}
+
+    # -- manifest ---------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self._manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if (manifest.get("version") != self.version
+                or manifest.get("fingerprint") != self.fingerprint):
+            self._clear_entry_files()   # stale config/format: start clean
+            return
+        self._entries = manifest.get(self.entries_field, {})
+
+    def _clear_entry_files(self) -> None:
+        """Drop orphaned entry files so stale configs don't pile up."""
+        try:
+            names = os.listdir(self._entry_dir)
+        except OSError:
+            return
+        for name in names:
+            if (name.startswith(self.file_prefix)
+                    and name.endswith(self.file_suffix)):
+                try:
+                    os.unlink(os.path.join(self._entry_dir, name))
+                except OSError:
+                    pass
+
+    def _entry_path(self, slot: str, key: str) -> str:
+        return os.path.join(
+            self._entry_dir,
+            f"{self.file_prefix}{slot}-{key[:8]}{self.file_suffix}")
+
+    # -- lookup / store ---------------------------------------------------
+
+    def lookup(self, slot, key: str):
+        """Cached payload for ``slot``, or ``None``.
+
+        Updates the hit/miss counters that :meth:`flush` writes into the
+        manifest — a warm re-run is verifiable as ``misses == 0``.
+        """
+        entry = self._entries.get(str(slot))
+        if entry is None or entry.get("key") != key:
+            self.misses += 1
+            return None
+        path = os.path.join(self.root, entry["file"])
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = self._decode(handle.read())
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, slot, key: str, payload) -> None:
+        """Persist one slot's payload and index it in the manifest."""
+        path = self._entry_path(str(slot), key)
+        atomic_write_text(path, self._encode(payload))
+        relpath = os.path.relpath(path, self.root)
+        old = self._entries.get(str(slot))
+        if (old is not None and old.get("key") != key
+                and old.get("file") != relpath):
+            try:
+                os.unlink(os.path.join(self.root, old["file"]))
+            except OSError:
+                pass
+        entry = {"key": key, "file": relpath}
+        entry.update(self._entry_meta(payload))
+        self._entries[str(slot)] = entry
+
+    def flush(self) -> None:
+        """Atomically write the manifest, including last-run counters."""
+        manifest = {
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            self.entries_field: dict(sorted(self._entries.items())),
+            "last_run": {"hits": self.hits, "misses": self.misses},
+        }
+        atomic_write_text(self._manifest_path,
+                          json.dumps(manifest, indent=2, sort_keys=True)
+                          + "\n")
 
 
 def shard_key(fingerprint: str, digests: list[str]) -> str:
@@ -39,107 +211,45 @@ def shard_key(fingerprint: str, digests: list[str]) -> str:
     return hasher.hexdigest()
 
 
-class ResultCache:
-    """Manifest-indexed store of per-shard augmentation results."""
+class ResultCache(ManifestCache):
+    """Per-shard augmentation results (``digest -> records`` JSONL).
 
-    def __init__(self, root: str, fingerprint: str):
-        self.root = root
-        self.fingerprint = fingerprint
-        self.hits = 0
-        self.misses = 0
-        self._manifest_path = os.path.join(root, "manifest.json")
-        self._shard_dir = os.path.join(root, "shards")
-        self._shards: dict[str, dict] = {}
-        self._load_manifest()
+    Layout under ``cache_dir``::
 
-    def _load_manifest(self) -> None:
-        try:
-            with open(self._manifest_path, encoding="utf-8") as handle:
-                manifest = json.load(handle)
-        except (OSError, ValueError):
-            return
-        if (manifest.get("version") != CACHE_FORMAT_VERSION
-                or manifest.get("fingerprint") != self.fingerprint):
-            self._clear_shard_files()   # stale config/format: start clean
-            return
-        self._shards = manifest.get("shards", {})
+        manifest.json                  index + config fingerprint + counters
+        shards/shard-<idx>-<key8>.jsonl   one line per source file
 
-    def _clear_shard_files(self) -> None:
-        """Drop orphaned shard files so stale configs don't pile up."""
-        try:
-            names = os.listdir(self._shard_dir)
-        except OSError:
-            return
-        for name in names:
-            if name.startswith("shard-") and name.endswith(".jsonl"):
-                try:
-                    os.unlink(os.path.join(self._shard_dir, name))
-                except OSError:
-                    pass
+    Each shard line is ``{"file": <content digest>, "records": [...]}``
+    with records in the lossless :meth:`repro.core.Record.to_dict` form.
+    """
 
-    def _shard_path(self, shard_index: int, key: str) -> str:
-        return os.path.join(self._shard_dir,
-                            f"shard-{shard_index:04d}-{key[:8]}.jsonl")
+    version = CACHE_FORMAT_VERSION
+    subdir = "shards"
+    file_prefix = "shard-"
+    file_suffix = ".jsonl"
+    entries_field = "shards"
 
-    def lookup(self, shard_index: int,
-               key: str) -> dict[str, list[Record]] | None:
-        """Cached ``digest -> records`` for the shard, or ``None``.
+    def _entry_path(self, slot: str, key: str) -> str:
+        return os.path.join(self._entry_dir,
+                            f"shard-{int(slot):04d}-{key[:8]}.jsonl")
 
-        Updates the hit/miss counters that :meth:`flush` writes into the
-        manifest — a warm re-run is verifiable as ``misses == 0``.
-        """
-        entry = self._shards.get(str(shard_index))
-        if entry is None or entry.get("key") != key:
-            self.misses += 1
-            return None
-        path = os.path.join(self.root, entry["file"])
-        try:
-            results: dict[str, list[Record]] = {}
-            with open(path, encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    blob = json.loads(line)
-                    results[blob["file"]] = [Record.from_dict(r)
-                                             for r in blob["records"]]
-        except (OSError, ValueError, KeyError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return results
-
-    def store(self, shard_index: int, key: str,
-              results: dict[str, list[Record]]) -> None:
-        """Persist one shard's results and index them in the manifest."""
-        path = self._shard_path(shard_index, key)
+    def _encode(self, payload: dict[str, list[Record]]) -> str:
         lines = [json.dumps({"file": digest,
                              "records": [r.to_dict() for r in records]},
                             ensure_ascii=False, sort_keys=True)
-                 for digest, records in sorted(results.items())]
-        atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
-        relpath = os.path.relpath(path, self.root)
-        old = self._shards.get(str(shard_index))
-        if (old is not None and old.get("key") != key
-                and old.get("file") != relpath):
-            try:
-                os.unlink(os.path.join(self.root, old["file"]))
-            except OSError:
-                pass
-        self._shards[str(shard_index)] = {
-            "key": key,
-            "files": sorted(results),
-            "file": relpath,
-        }
+                 for digest, records in sorted(payload.items())]
+        return "\n".join(lines) + ("\n" if lines else "")
 
-    def flush(self) -> None:
-        """Atomically write the manifest, including last-run counters."""
-        manifest = {
-            "version": CACHE_FORMAT_VERSION,
-            "fingerprint": self.fingerprint,
-            "shards": dict(sorted(self._shards.items())),
-            "last_run": {"hits": self.hits, "misses": self.misses},
-        }
-        atomic_write_text(self._manifest_path,
-                          json.dumps(manifest, indent=2, sort_keys=True)
-                          + "\n")
+    def _decode(self, text: str) -> dict[str, list[Record]]:
+        results: dict[str, list[Record]] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            blob = json.loads(line)
+            results[blob["file"]] = [Record.from_dict(r)
+                                     for r in blob["records"]]
+        return results
+
+    def _entry_meta(self, payload: dict[str, list[Record]]) -> dict:
+        return {"files": sorted(payload)}

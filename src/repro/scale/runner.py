@@ -1,34 +1,88 @@
-"""Parallel shard execution over a ``concurrent.futures`` pool.
+"""Parallel work execution over a ``concurrent.futures`` pool.
 
-``ShardRunner`` maps shards onto worker processes (or threads, or the
-calling thread for ``jobs=1``).  Workers re-read each source from disk —
-only paths and digests cross the process boundary going in, and finished
-:class:`~repro.core.Record` lists coming back — so peak memory stays
-bounded by the largest in-flight shard, not the corpus.
+:class:`WorkPool` is the generic layer: map a picklable module-level
+function over keyed work items on worker processes (or threads, or the
+calling thread for ``jobs=1``), with a completion callback per item.
+:class:`ShardRunner` specialises it for augmentation shards; the
+evaluation engine (``repro.eval.engine``) maps benchmark cells over the
+same pool.
 
-Because per-file seeds are content-derived (:func:`repro.core.content_seed`),
-the records a worker produces are independent of which worker ran the
-shard, the shard count, and the submission order: parallelism is purely a
-wall-clock optimisation and never changes output.
+Because every unit of work derives its randomness from *content* hashes
+(:func:`repro.core.content_seed`, the behavioural models' stable
+hashes), results are independent of which worker ran an item and of the
+submission order: parallelism is purely a wall-clock optimisation and
+never changes output.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from collections.abc import Callable, Iterable
+from collections.abc import Callable
+from typing import TypeVar
 
 from ..core.pipeline import PipelineConfig, augment_file
 from ..core.records import Record
 from .store import SourceFile, sha256_text
 
+K = TypeVar("K")
+W = TypeVar("W")
+R = TypeVar("R")
 
-def run_shard(members: list[tuple[str, str]],
-              config: PipelineConfig) -> dict[str, list[Record]]:
-    """Augment one shard: ``[(digest, path), ...] -> digest -> records``.
 
-    Module-level (picklable) so it can run in a process pool.  Duplicate
-    contents within a shard are computed once.
+class WorkPool:
+    """Map a function over keyed work items, optionally in parallel.
+
+    ``jobs <= 1`` runs in-process (no pool, no pickling); ``jobs > 1``
+    uses a :class:`~concurrent.futures.ProcessPoolExecutor` by default,
+    or threads when ``use_threads=True`` (useful where fork is
+    unavailable or the workload is I/O bound).  ``fn`` must be a
+    module-level callable and both items and results must pickle when
+    processes are used.
     """
+
+    def __init__(self, jobs: int = 1, use_threads: bool = False):
+        self.jobs = max(1, jobs)
+        self.use_threads = use_threads
+
+    def map(self, fn: Callable[[W], R], items: dict[K, W],
+            on_done: Callable[[K, R], None] | None = None) -> dict[K, R]:
+        """Apply ``fn`` to every item; returns ``key -> result``.
+
+        ``on_done`` fires as each item completes (in completion order) —
+        callers use it to write cache entries eagerly so an interrupted
+        run still warms the cache for finished work.
+        """
+        results: dict[K, R] = {}
+        if self.jobs == 1 or len(items) <= 1:
+            for key, item in items.items():
+                results[key] = fn(item)
+                if on_done is not None:
+                    on_done(key, results[key])
+            return results
+        pool_cls = (concurrent.futures.ThreadPoolExecutor if self.use_threads
+                    else concurrent.futures.ProcessPoolExecutor)
+        with pool_cls(max_workers=min(self.jobs, len(items))) as pool:
+            futures = {pool.submit(fn, item): key
+                       for key, item in items.items()}
+            for future in concurrent.futures.as_completed(futures):
+                key = futures[future]
+                results[key] = future.result()
+                if on_done is not None:
+                    on_done(key, results[key])
+        return results
+
+
+def run_shard(payload: tuple[list[tuple[str, str]], PipelineConfig],
+              ) -> dict[str, list[Record]]:
+    """Augment one shard: ``([(digest, path), ...], config)`` → records.
+
+    Module-level (picklable) so it can run in a process pool.  Workers
+    re-read each source from disk — only paths and digests cross the
+    process boundary going in — so peak memory stays bounded by the
+    largest in-flight shard, not the corpus.  Duplicate contents within
+    a shard are computed once.
+    """
+    members, config = payload
     results: dict[str, list[Record]] = {}
     for digest, path in members:
         if digest in results:
@@ -44,13 +98,7 @@ def run_shard(members: list[tuple[str, str]],
 
 
 class ShardRunner:
-    """Execute shards across a worker pool.
-
-    ``jobs <= 1`` runs in-process (no pool, no pickling); ``jobs > 1``
-    uses a :class:`~concurrent.futures.ProcessPoolExecutor` by default,
-    or threads when ``use_threads=True`` (useful where fork is
-    unavailable or the workload is I/O bound).
-    """
+    """Execute augmentation shards across a :class:`WorkPool`."""
 
     def __init__(self, config: PipelineConfig | None = None, jobs: int = 1,
                  use_threads: bool = False):
@@ -61,29 +109,9 @@ class ShardRunner:
     def run(self, shards: dict[int, list[SourceFile]],
             on_shard_done: Callable[[int, dict[str, list[Record]]], None]
             | None = None) -> dict[int, dict[str, list[Record]]]:
-        """Augment every shard; returns ``shard -> digest -> records``.
-
-        ``on_shard_done`` fires as each shard completes (in completion
-        order) — the service uses it to write cache entries eagerly so
-        an interrupted run still warms the cache for finished shards.
-        """
-        payloads = {index: [(s.digest, s.path) for s in members]
+        """Augment every shard; returns ``shard -> digest -> records``."""
+        payloads = {index: ([(s.digest, s.path) for s in members],
+                            self.config)
                     for index, members in shards.items()}
-        results: dict[int, dict[str, list[Record]]] = {}
-        if self.jobs == 1 or len(payloads) <= 1:
-            for index, members in payloads.items():
-                results[index] = run_shard(members, self.config)
-                if on_shard_done is not None:
-                    on_shard_done(index, results[index])
-            return results
-        pool_cls = (concurrent.futures.ThreadPoolExecutor if self.use_threads
-                    else concurrent.futures.ProcessPoolExecutor)
-        with pool_cls(max_workers=min(self.jobs, len(payloads))) as pool:
-            futures = {pool.submit(run_shard, members, self.config): index
-                       for index, members in payloads.items()}
-            for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                results[index] = future.result()
-                if on_shard_done is not None:
-                    on_shard_done(index, results[index])
-        return results
+        pool = WorkPool(jobs=self.jobs, use_threads=self.use_threads)
+        return pool.map(run_shard, payloads, on_done=on_shard_done)
