@@ -1,0 +1,101 @@
+"""Benchmark: compiled simulation backend vs the interpreter.
+
+Runs every golden design (``tests/golden/*.v``) through
+:func:`repro.sim.run_simulation` on both backends and reports
+cycles/sec (one cycle = 10 time units — all golden clocks use a #5 half
+period), plus cold- vs warm-compile-cache wall time: a warm
+:class:`~repro.sim.compile.CompiledDesignCache` skips parse, elaborate
+*and* lowering.  Writes ``BENCH_sim.json`` at the repo root so the perf
+trajectory is tracked from PR to PR (the simulator twin of
+``bench_scale.py`` / ``bench_eval.py``).
+
+The ≥3x compiled-over-interpreted cycles/sec floor asserted here is the
+acceptance bar for the compiled backend.
+"""
+
+import glob
+import json
+import os
+import time
+
+from repro.sim import (backend_stats, configure_design_cache,
+                       reset_backend_stats, run_simulation)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "tests", "golden")
+RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_sim.json")
+REPS = 3
+
+
+def _designs() -> dict[str, str]:
+    out = {}
+    for path in sorted(glob.glob(os.path.join(GOLDEN_DIR, "*.v"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        with open(path, encoding="utf-8") as fh:
+            out[name] = fh.read()
+    return out
+
+
+def _sweep(designs: dict[str, str], backend: str) -> tuple[float, int]:
+    """Total wall seconds and simulated cycles for one pass."""
+    start = time.perf_counter()
+    cycles = 0
+    for text in designs.values():
+        result = run_simulation(text, backend=backend)
+        assert result.ok and result.finished, result.error
+        cycles += result.time // 10
+    return time.perf_counter() - start, cycles
+
+
+def run_sim_bench() -> dict:
+    designs = _designs()
+    assert len(designs) >= 10, "golden suite shrank below contract"
+
+    # Interpreter baseline (parses + elaborates every run, like always).
+    interp_s, cycles = min(
+        (_sweep(designs, "interp") for _ in range(REPS)),
+        key=lambda pair: pair[0])
+
+    # Cold: fresh cache, first pass pays parse+elaborate+lower.
+    configure_design_cache()
+    reset_backend_stats()
+    cold_s, _ = _sweep(designs, "compiled")
+    assert backend_stats().fallbacks == 0, \
+        backend_stats().fallback_reasons
+
+    # Warm: same process-wide cache, lowering fully amortised.
+    warm_s = min(_sweep(designs, "compiled")[0] for _ in range(REPS))
+    stats = backend_stats()
+    assert stats.fallbacks == 0, stats.fallback_reasons
+    assert stats.cache_hits >= len(designs) * REPS
+
+    result = {
+        "designs": len(designs),
+        "cycles_per_pass": cycles,
+        "interp_s": round(interp_s, 4),
+        "compiled_cold_s": round(cold_s, 4),
+        "compiled_warm_s": round(warm_s, 4),
+        "cycles_per_sec_interp": round(cycles / interp_s, 1),
+        "cycles_per_sec_compiled_cold": round(cycles / cold_s, 1),
+        "cycles_per_sec_compiled_warm": round(cycles / warm_s, 1),
+        "speedup_cold": round(interp_s / cold_s, 2),
+        "speedup_warm": round(interp_s / warm_s, 2),
+        "compiles": stats.compiles,
+        "compile_cache_hits": stats.cache_hits,
+        "fallbacks": stats.fallbacks,
+    }
+    return result
+
+
+def test_sim_backend_throughput(once, benchmark):
+    result = once(run_sim_bench)
+    benchmark.extra_info.update(result)
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\n" + json.dumps(result, indent=2, sort_keys=True))
+    assert result["fallbacks"] == 0
+    # Acceptance bar: ≥3x cycles/sec over the interpreter on the
+    # golden designs once the compile cache is warm.
+    assert result["speedup_warm"] >= 3.0, result

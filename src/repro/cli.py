@@ -13,7 +13,7 @@ Commands mirror the tool chain a user drives interactively:
 * ``agent``     — run the Fig-1 agent loop on a named benchmark problem
 * ``evaluate``  — run one benchmark suite on the shared evaluation
   engine (``--suite``, ``--models``, ``--jobs``, ``--cache-dir``,
-  ``--k``)
+  ``--k``, ``--sim-backend compiled|interp``)
 * ``tables``    — regenerate the paper's tables/figures (``--only``
   computes just the requested ones; ``--jobs``/``--cache-dir`` reach
   Tables 3–5 through the engine)
@@ -46,7 +46,8 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     from .sim import run_simulation
     result = run_simulation(_read(args.file), top=args.top,
-                            trace=args.vcd is not None)
+                            trace=args.vcd is not None,
+                            backend=args.sim_backend)
     if not result.ok:
         print(result.error, file=sys.stderr)
         return 1
@@ -146,7 +147,16 @@ def cmd_agent(args: argparse.Namespace) -> int:
 
 
 def _eval_engine(args: argparse.Namespace):
+    import os
+
     from .eval import EvalEngine
+    from .sim import configure_design_cache
+    if args.cache_dir:
+        # Attach the persistent compile-verdict layer next to the cell
+        # cache; forked workers inherit it, so they skip doomed compile
+        # attempts on warm re-runs.
+        configure_design_cache(
+            root=os.path.join(args.cache_dir, "sim-designs"))
     return EvalEngine(jobs=args.jobs, cache_dir=args.cache_dir)
 
 
@@ -187,7 +197,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             else ("low", "middle", "high")
         report = evaluate_generation(
             [get_model(name) for name in names], problems,
-            levels=levels, n_samples=samples, engine=engine)
+            levels=levels, n_samples=samples, engine=engine,
+            sim_backend=args.sim_backend)
         thakur_names = [p.name for p in problems if p.suite == "thakur"]
         rtllm_names = [p.name for p in problems if p.suite == "rtllm"]
         rendered = render_table5(report, thakur_names, rtllm_names,
@@ -199,7 +210,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         problems = list(rtllm_suite())
         report = evaluate_repair([get_model(name) for name in names],
                                  problems, seed=args.seed,
-                                 n_samples=samples, engine=engine)
+                                 n_samples=samples, engine=engine,
+                                 sim_backend=args.sim_backend)
         rendered = render_table3(report, [p.name for p in problems])
     else:   # scripts
         names = args.models.split(",") if args.models \
@@ -211,6 +223,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         rendered = render_table4(report, [t.name for t in tasks])
     print(rendered)
     print(f"-- {engine.stats.summary()}")
+    from .sim import backend_stats
+    stats = backend_stats()
+    if stats.compiled_runs or stats.interp_runs or stats.fallbacks:
+        # Counters are per-process; with --jobs > 1 most simulation
+        # happens in pool workers whose counters stay there.
+        qualifier = " (main process only)" if args.jobs > 1 else ""
+        print(f"-- {stats.summary()}{qualifier}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
@@ -236,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--top")
     p.add_argument("--vcd", help="write VCD waveform to this path")
+    p.add_argument("--sim-backend", choices=("compiled", "interp"),
+                   default=None,
+                   help="simulator backend (default: compiled, with "
+                        "automatic fallback to the interpreter)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("synth", help="gate-level synthesis report")
@@ -321,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(generation suites; default low,middle,high)")
     p.add_argument("--seed", type=int, default=0,
                    help="benchmark-construction seed (repair suite)")
+    p.add_argument("--sim-backend", choices=("compiled", "interp"),
+                   default=None,
+                   help="simulator backend for testbench verdicts "
+                        "(default: compiled, with automatic fallback "
+                        "to the interpreter; reports are byte-identical "
+                        "either way)")
     p.add_argument("--out", help="also write the report to this file")
     add_engine_options(p)
     p.set_defaults(fn=cmd_evaluate)

@@ -103,6 +103,11 @@ class EvalTask:
     payload: Problem | BrokenCase | ScriptTask
     level: str = "middle"                       #: generation only
     n_samples: int = 5
+    #: Simulator backend (``"compiled"``/``"interp"``/None = default).
+    #: Deliberately excluded from :meth:`key`: the backends are proven
+    #: output-identical (tests/test_sim_differential.py), so cached
+    #: cells are shared across ``--sim-backend`` settings.
+    sim_backend: str | None = None
 
     @property
     def name(self) -> str:
@@ -131,10 +136,13 @@ def run_eval_task(task: EvalTask) -> dict:
     """
     if task.kind == "generation":
         return evaluate_cell(task.model, task.payload, task.level,
-                             task.n_samples).to_dict()
+                             task.n_samples,
+                             sim_backend=task.sim_backend).to_dict()
     if task.kind == "repair":
         return evaluate_repair_cell(task.model, task.payload,
-                                    task.n_samples).to_dict()
+                                    task.n_samples,
+                                    sim_backend=task.sim_backend) \
+            .to_dict()
     if task.kind == "script":
         return iterations_to_correct(task.model, task.payload,
                                      task.n_samples).to_dict()

@@ -23,7 +23,7 @@ from ..bench.problems import PROMPT_LEVELS, Problem
 from ..checker import check_source
 from ..llm.behavioral import BehavioralModel
 from ..scale.cache import LRUCache
-from ..sim import run_testbench
+from ..sim import DEFAULT_BACKEND, run_testbench
 from .passk import pass_at_k
 
 
@@ -110,12 +110,19 @@ _CACHE: LRUCache[tuple[str, str], CandidateResult] = \
     LRUCache(maxsize=_CANDIDATE_CACHE_SIZE)
 
 
-def evaluate_candidate(code: str, problem: Problem) -> CandidateResult:
-    """Syntax-check then simulate one candidate against the testbench."""
+def evaluate_candidate(code: str, problem: Problem,
+                       sim_backend: str | None = None) -> CandidateResult:
+    """Syntax-check then simulate one candidate against the testbench.
+
+    ``sim_backend`` selects the simulator backend (compiled by default);
+    verdicts are backend-independent — the differential harness proves
+    it — but the backend is part of the memoisation key for honesty.
+    """
+    backend = sim_backend or DEFAULT_BACKEND
     # The verdict depends on the candidate AND the problem's testbench —
     # hashing both keeps memoisation honest if a problem is edited
     # in-process under an unchanged name.
-    key = (problem.name,
+    key = (problem.name, backend,
            hashlib.sha256(f"{problem.testbench}\x1f{code}"
                           .encode()).hexdigest())
     cached = _CACHE.get(key)
@@ -125,7 +132,7 @@ def evaluate_candidate(code: str, problem: Problem) -> CandidateResult:
     if not check.ok:
         result = CandidateResult(syntax_ok=False, pass_fraction=0.0)
     else:
-        verdict = run_testbench(code, problem.testbench)
+        verdict = run_testbench(code, problem.testbench, backend=backend)
         if not verdict.ok:
             result = CandidateResult(syntax_ok=True, pass_fraction=0.0)
         else:
@@ -136,7 +143,8 @@ def evaluate_candidate(code: str, problem: Problem) -> CandidateResult:
 
 
 def evaluate_cell(model: BehavioralModel, problem: Problem, level: str,
-                  n_samples: int = 5) -> CellResult:
+                  n_samples: int = 5,
+                  sim_backend: str | None = None) -> CellResult:
     """One benchmark cell: n samples → syntax count + best function."""
     samples = model.generate_verilog(
         problem.reference, problem.tier, problem.difficulty, level=level,
@@ -145,7 +153,8 @@ def evaluate_cell(model: BehavioralModel, problem: Problem, level: str,
     passes = 0
     best = 0.0
     for code in samples:
-        outcome = evaluate_candidate(code, problem)
+        outcome = evaluate_candidate(code, problem,
+                                     sim_backend=sim_backend)
         if not outcome.syntax_ok:
             syntax_errors += 1
         if outcome.passed:
@@ -159,17 +168,20 @@ def evaluate_generation(models: list[BehavioralModel],
                         problems: list[Problem],
                         levels: tuple[str, ...] = PROMPT_LEVELS,
                         n_samples: int = 5,
-                        engine=None) -> GenerationReport:
+                        engine=None,
+                        sim_backend: str | None = None
+                        ) -> GenerationReport:
     """Full Table-5 style sweep through the shared evaluation engine.
 
     ``engine`` is an :class:`repro.eval.engine.EvalEngine` (defaults to a
     serial, uncached one).  The report is byte-identical regardless of
-    the engine's ``jobs`` setting or cache state.
+    the engine's ``jobs`` setting, cache state or ``sim_backend``.
     """
     from .engine import EvalEngine, EvalTask
     engine = engine if engine is not None else EvalEngine()
     tasks = [EvalTask(kind="generation", model=model, payload=problem,
-                      level=level, n_samples=n_samples)
+                      level=level, n_samples=n_samples,
+                      sim_backend=sim_backend)
              for model in models
              for problem in problems
              for level in levels]

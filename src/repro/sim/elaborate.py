@@ -71,6 +71,14 @@ class Proc:
     lhs_prefix: str = ""
     rhs_prefix: str = ""
     index: int = -1                  # assigned by the engine
+    line: int = 0                    # source line of the construct
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity for timeout/error reporting."""
+        scope = self.prefix.rstrip(".") or "top"
+        where = f" (line {self.line})" if self.line else ""
+        return f"{self.kind} process in '{scope}'{where}"
 
 
 @dataclass
@@ -193,15 +201,16 @@ class Elaborator:
                     self.design.procs.append(Proc(
                         kind="assign", prefix=prefix, module=module,
                         lhs=lhs, rhs=rhs,
-                        lhs_prefix=prefix, rhs_prefix=prefix))
+                        lhs_prefix=prefix, rhs_prefix=prefix,
+                        line=item.line))
             elif isinstance(item, ast.Always):
                 self.design.procs.append(Proc(
                     kind="always", prefix=prefix, module=module,
-                    body=self._wrap_always(item)))
+                    body=self._wrap_always(item), line=item.line))
             elif isinstance(item, ast.Initial):
                 self.design.procs.append(Proc(
                     kind="initial", prefix=prefix, module=module,
-                    body=item.body))
+                    body=item.body, line=item.line))
             elif isinstance(item, ast.Instantiation):
                 self._elaborate_instantiation(item, module, prefix, params)
 
@@ -385,12 +394,14 @@ class Elaborator:
                 self.design.procs.append(Proc(
                     kind="assign", prefix=child_prefix, module=child,
                     lhs=port_ref, rhs=conn.expr,
-                    lhs_prefix=child_prefix, rhs_prefix=parent_prefix))
+                    lhs_prefix=child_prefix, rhs_prefix=parent_prefix,
+                    line=conn.line))
             else:  # output / inout treated as child→parent
                 self.design.procs.append(Proc(
                     kind="assign", prefix=parent_prefix, module=parent,
                     lhs=conn.expr, rhs=port_ref,
-                    lhs_prefix=parent_prefix, rhs_prefix=child_prefix))
+                    lhs_prefix=parent_prefix, rhs_prefix=child_prefix,
+                    line=conn.line))
 
     @staticmethod
     def _port_directions(module: ast.Module) -> dict[str, str]:

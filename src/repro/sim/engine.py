@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..verilog import ast
 from . import values as V
 from .elaborate import Design, Proc, Signal
+from .format import edge_fired, parse_template, render_spec, scope_name
 
 
 class SimulationError(Exception):
@@ -31,7 +32,23 @@ class SimulationError(Exception):
 
 
 class SimulationTimeout(SimulationError):
-    """Delta-cycle oscillation or step budget exhausted."""
+    """Delta-cycle oscillation or step budget exhausted.
+
+    Carries the offending ``process`` label and the ``delta`` count at
+    the point of failure so harnesses can report *where* a design hung,
+    not just that it did.
+    """
+
+    def __init__(self, message: str, process: str | None = None,
+                 delta: int | None = None):
+        detail = message
+        if process is not None:
+            detail += f" [process: {process}]"
+        if delta is not None:
+            detail += f" [delta cycles: {delta}]"
+        super().__init__(detail)
+        self.process = process
+        self.delta = delta
 
 
 class _Finish(Exception):
@@ -84,8 +101,14 @@ class Simulator:
         self._seq = 0
         self._active: deque = deque()
         self._nba: list[tuple[ast.Expr, V.Value, _Ctx]] = []
-        self._assign_deps: dict[str, set[int]] = {}
+        # Values are insertion-ordered index "sets" (dict keys): notify
+        # order is then deterministic AND identical to the compiled
+        # backend's list-based walk, which the differential harness
+        # relies on.
+        self._assign_deps: dict[str, dict[int, None]] = {}
         self._assign_pending: set[int] = set()
+        self._current_label: str | None = None
+        self._delta = 0
         self._waiters: dict[str, list[_Waiter]] = {}
         self._rand_state = 0x2545F491
         self._assign_procs: list[Proc] = []
@@ -113,8 +136,8 @@ class Simulator:
                 self._assign_procs.append(proc)
                 ctx = _Ctx(proc.rhs_prefix, proc.module)
                 for name in self._expr_deps(proc.rhs, ctx):
-                    self._assign_deps.setdefault(name, set()) \
-                        .add(proc.index)
+                    self._assign_deps.setdefault(name, {})[proc.index] \
+                        = None
                 self._assign_pending.add(proc.index)
                 self._active.append(("assign", proc.index, None))
             else:
@@ -150,7 +173,9 @@ class Simulator:
     def eval(self, expr: ast.Expr, ctx: _Ctx) -> V.Value:
         self._steps += 1
         if self._steps > self._step_budget:
-            raise SimulationTimeout("simulation step budget exhausted")
+            raise SimulationTimeout("simulation step budget exhausted",
+                                    process=self._current_label,
+                                    delta=self._delta)
         if isinstance(expr, ast.Number):
             return V.from_literal(expr.text)
         if isinstance(expr, ast.Identifier):
@@ -537,18 +562,8 @@ class Simulator:
                 still.append(waiter)
         self._waiters[name] = still
 
-    @staticmethod
-    def _edge_fired(edge: str | None, prev: V.Value, new: V.Value) -> bool:
-        if prev == new:
-            return False
-        if edge is None:
-            return True
-        prev_bit, new_bit = prev.bit(0), new.bit(0)
-        if edge == "posedge":
-            return new_bit == "1" and prev_bit != "1" or \
-                new_bit == "x" and prev_bit == "0"
-        return new_bit == "0" and prev_bit != "0" or \
-            new_bit == "x" and prev_bit == "1"
+    #: Edge semantics shared with the compiled backend (sim.format).
+    _edge_fired = staticmethod(edge_fired)
 
     def _check_trigger(self, waiter: _Waiter) -> bool:
         fired = False
@@ -675,14 +690,17 @@ class Simulator:
                     self._steps += 50  # charge loop overhead
                     if self._steps > self._step_budget:
                         raise SimulationTimeout(
-                            "always block without delay or event control")
+                            "always block without delay or event control",
+                            process=proc.label, delta=self._delta)
         except _Finish:
             pass
 
     def _exec(self, stmt: ast.Stmt | None, ctx: _Ctx):
         self._steps += 1
         if self._steps > self._step_budget:
-            raise SimulationTimeout("simulation step budget exhausted")
+            raise SimulationTimeout("simulation step budget exhausted",
+                                    process=self._current_label,
+                                    delta=self._delta)
         if stmt is None or isinstance(stmt, ast.NullStmt):
             return
         if isinstance(stmt, ast.Block):
@@ -737,7 +755,9 @@ class Simulator:
                 yield from self._exec(stmt.body, ctx)
                 self._steps += 50
                 if self._steps > self._step_budget:
-                    raise SimulationTimeout("forever loop without delay")
+                    raise SimulationTimeout("forever loop without delay",
+                                            process=self._current_label,
+                                            delta=self._delta)
             return
         if isinstance(stmt, ast.DelayStmt):
             ticks = self.eval(stmt.delay, ctx).to_int()
@@ -872,60 +892,25 @@ class Simulator:
                        ctx: _Ctx) -> str:
         out: list[str] = []
         arg_iter = iter(args)
-        i = 0
-        while i < len(template):
-            ch = template[i]
-            if ch != "%":
-                if ch == "\\":
-                    nxt = template[i + 1] if i + 1 < len(template) else ""
-                    if nxt == "n":
-                        out.append("\n")
-                        i += 2
-                        continue
-                    if nxt == "t":
-                        out.append("\t")
-                        i += 2
-                        continue
-                out.append(ch)
-                i += 1
-                continue
-            # parse %[0][width]spec
-            j = i + 1
-            while j < len(template) and template[j].isdigit():
-                j += 1
-            spec = template[j] if j < len(template) else "%"
-            i = j + 1
-            if spec == "%":
+        for segment in parse_template(template):
+            kind = segment[0]
+            if kind == "lit":
+                out.append(segment[1])
+            elif kind == "pct":
                 out.append("%")
-                continue
-            if spec == "m":
-                out.append(ctx.prefix.rstrip(".") or self.design.top)
-                continue
-            try:
-                arg = next(arg_iter)
-            except StopIteration:
-                out.append("%" + spec)
-                continue
-            if spec in ("s",) and isinstance(arg, ast.StringLiteral):
-                out.append(arg.value)
-                continue
-            value = self.eval(arg, ctx)
-            if spec == "t":
-                out.append(str(value.to_int()))
-            elif spec in ("d", "b", "h", "x", "o"):
-                out.append(V.format_value(value,
-                                          "h" if spec == "x" else spec))
-            elif spec == "c":
-                out.append(chr(value.to_int() & 0xFF))
-            elif spec == "s":
-                raw = value.to_int()
-                chars = []
-                while raw:
-                    chars.append(chr(raw & 0xFF))
-                    raw >>= 8
-                out.append("".join(reversed(chars)))
+            elif kind == "mod":
+                out.append(scope_name(ctx.prefix, self.design.top))
             else:
-                out.append(V.format_value(value, "d"))
+                spec = segment[1]
+                try:
+                    arg = next(arg_iter)
+                except StopIteration:
+                    out.append("%" + spec)
+                    continue
+                if spec == "s" and isinstance(arg, ast.StringLiteral):
+                    out.append(arg.value)
+                    continue
+                out.append(render_spec(spec, self.eval(arg, ctx)))
         return "".join(out)
 
     # ------------------------------------------------------------------
@@ -989,15 +974,20 @@ class Simulator:
             while self._active or self._nba:
                 while self._active:
                     delta += 1
+                    self._delta = delta
                     if delta > self._max_delta:
                         raise SimulationTimeout(
-                            f"delta overflow at time {self.time}")
+                            f"delta overflow at time {self.time}",
+                            process=self._current_label, delta=delta)
                     kind, payload, extra = self._active.popleft()
                     if self.finished:
                         return
                     if kind == "resume":
+                        self._current_label = payload.proc.label
                         self._resume(payload, extra)
                     elif kind == "assign":
+                        self._current_label = \
+                            self._assign_procs[payload].label
                         self._assign_pending.discard(payload)
                         self._run_assign(payload)
                 if self.finished:

@@ -3,6 +3,20 @@
 The benchmark suites use self-checking testbenches that print
 ``PASS``/``FAIL`` lines and call ``$finish``; :func:`run_testbench` runs one
 and summarises the outcome.
+
+Two backends sit behind :func:`run_simulation`:
+
+* ``"compiled"`` (the default) — :mod:`repro.sim.compile` lowers the
+  design once into closures, cached by source digest in the process-wide
+  :class:`~repro.sim.compile.CompiledDesignCache` so repeated runs of
+  the same testbench/reference pair skip parse, elaborate *and* lower;
+* ``"interp"`` — the reference tree-walking interpreter
+  (:class:`~repro.sim.engine.Simulator`).
+
+A design the lowerer cannot handle falls back to the interpreter
+automatically; fallbacks are counted in
+:func:`repro.sim.compile.backend_stats` and the two backends are proven
+output-identical by ``tests/test_sim_differential.py``.
 """
 
 from __future__ import annotations
@@ -11,8 +25,15 @@ from dataclasses import dataclass, field
 
 from ..verilog import ast, parse
 from ..verilog.errors import VerilogError
+from .compile import (CompileUnsupported, backend_stats, compile_design,
+                      design_cache, source_digest)
 from .elaborate import elaborate
-from .engine import SimulationError, Simulator
+from .engine import SimulationError, SimulationTimeout, Simulator
+
+#: Backend used when callers don't pass one explicitly.
+DEFAULT_BACKEND = "compiled"
+
+BACKENDS = ("compiled", "interp")
 
 
 @dataclass
@@ -69,15 +90,23 @@ def find_top(source: ast.SourceFile) -> str:
     return roots[0]
 
 
-def run_simulation(source_text: str, top: str | None = None,
-                   max_time: int = 2_000_000,
-                   filename: str = "<sim>",
-                   trace: bool = False) -> SimResult:
-    """Parse, elaborate and simulate; never raises on design errors.
+def _resolve_backend(backend: str | None) -> str:
+    chosen = backend or DEFAULT_BACKEND
+    if chosen not in BACKENDS:
+        raise ValueError(f"unknown sim backend '{chosen}' "
+                         f"(expected one of {', '.join(BACKENDS)})")
+    return chosen
 
-    With ``trace=True`` (or when the testbench calls
-    ``$dumpfile``/``$dumpvars``) the result carries the VCD text.
-    """
+
+def _finish_result(simulator) -> SimResult:
+    vcd_text = simulator.tracer.to_vcd() if simulator.tracer else None
+    return SimResult(ok=True, finished=simulator.finished,
+                     time=simulator.time,
+                     display=simulator.display_lines, vcd=vcd_text)
+
+
+def _run_interp(source_text: str, top: str | None, max_time: int,
+                filename: str, trace: bool) -> SimResult:
     try:
         source = parse(source_text, filename)
         top_name = top or find_top(source)
@@ -90,15 +119,91 @@ def run_simulation(source_text: str, top: str | None = None,
         return SimResult(ok=False, error=str(exc))
     except RecursionError:
         return SimResult(ok=False, error="elaboration recursion overflow")
-    vcd_text = simulator.tracer.to_vcd() if simulator.tracer else None
-    return SimResult(ok=True, finished=simulator.finished,
-                     time=simulator.time, display=simulator.display_lines,
-                     vcd=vcd_text)
+    return _finish_result(simulator)
+
+
+def _run_compiled(source_text: str, top: str | None, max_time: int,
+                  filename: str, trace: bool) -> SimResult | None:
+    """Run on the compiled backend; returns None to request fallback."""
+    stats = backend_stats()
+    cache = design_cache()
+    digest = source_digest(source_text, top)
+    compiled = cache.get(digest)
+    try:
+        if compiled is None:
+            verdict = cache.verdict(digest)
+            if verdict is not None and not verdict.get("supported"):
+                stats.record_fallback(
+                    verdict.get("reason") or "unsupported construct")
+                return None
+            source = parse(source_text, filename)
+            top_name = top or find_top(source)
+            design = elaborate(source, top_name)
+            compiled = compile_design(design)
+            cache.put(digest, compiled)
+        else:
+            stats.cache_hits += 1
+    except CompileUnsupported as exc:
+        cache.record_unsupported(digest, str(exc))
+        stats.record_fallback(str(exc))
+        return None
+    except (VerilogError, SimulationError) as exc:
+        return SimResult(ok=False, error=str(exc))
+    except RecursionError:
+        return SimResult(ok=False, error="elaboration recursion overflow")
+    # Counted once the design is in hand — like interp_runs, errored
+    # simulations still count as runs on this backend.
+    stats.compiled_runs += 1
+    try:
+        simulator = compiled.simulator()
+        if trace:
+            simulator.enable_tracing()
+        simulator.run(max_time=max_time)
+    except SimulationTimeout:
+        # Step budgets are charged differently by the two runtimes, so
+        # a timeout verdict near the budget boundary could diverge.
+        # The interpreter is authoritative: re-run there so the final
+        # outcome is identical across backends (and across the shared
+        # eval cell cache).  Keyed under a stable reason — the message
+        # embeds per-design details and would never aggregate.
+        stats.compiled_runs -= 1
+        stats.record_fallback("timeout")
+        return None
+    except (VerilogError, SimulationError) as exc:
+        return SimResult(ok=False, error=str(exc))
+    except RecursionError:
+        return SimResult(ok=False, error="elaboration recursion overflow")
+    return _finish_result(simulator)
+
+
+def run_simulation(source_text: str, top: str | None = None,
+                   max_time: int = 2_000_000,
+                   filename: str = "<sim>",
+                   trace: bool = False,
+                   backend: str | None = None) -> SimResult:
+    """Parse, elaborate and simulate; never raises on design errors.
+
+    ``backend`` selects ``"compiled"`` (default; falls back to the
+    interpreter on unsupported constructs) or ``"interp"``.  With
+    ``trace=True`` (or when the testbench calls
+    ``$dumpfile``/``$dumpvars``) the result carries the VCD text.
+    """
+    chosen = _resolve_backend(backend)
+    if chosen == "compiled":
+        result = _run_compiled(source_text, top, max_time, filename,
+                               trace)
+        if result is not None:
+            return result
+        # Unsupported construct: fall through to the interpreter.
+    else:
+        backend_stats().interp_runs += 1
+    return _run_interp(source_text, top, max_time, filename, trace)
 
 
 def run_testbench(design_text: str, testbench_text: str,
                   top: str | None = None,
-                  max_time: int = 2_000_000) -> TestbenchVerdict:
+                  max_time: int = 2_000_000,
+                  backend: str | None = None) -> TestbenchVerdict:
     """Simulate design+testbench and count PASS/FAIL lines.
 
     A testbench reports vectors via ``$display``; any line containing
@@ -106,7 +211,7 @@ def run_testbench(design_text: str, testbench_text: str,
     containing ``PASS``/``OK`` as a passed one.
     """
     result = run_simulation(design_text + "\n" + testbench_text, top=top,
-                            max_time=max_time)
+                            max_time=max_time, backend=backend)
     if not result.ok:
         return TestbenchVerdict(ok=False, error=result.error)
     passed = failed = 0

@@ -17,26 +17,48 @@ Semantics follow IEEE 1364 pragmatically:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 
 def _mask(width: int) -> int:
     return (1 << width) - 1
 
 
-@dataclass(frozen=True)
 class Value:
-    """Fixed-width four-state vector."""
+    """Fixed-width four-state vector.
 
-    width: int
-    val: int
-    xz: int = 0
+    A hand-rolled ``__slots__`` class (not a dataclass): Value
+    construction is the single hottest allocation in both simulator
+    backends, and the plain ``__init__`` below is ~2x faster than the
+    frozen-dataclass ``object.__setattr__`` path.  Instances are
+    treated as immutable everywhere.
+    """
 
-    def __post_init__(self):
-        mask = _mask(self.width)
-        object.__setattr__(self, "xz", self.xz & mask)
+    __slots__ = ("width", "val", "xz")
+
+    def __init__(self, width: int, val: int, xz: int = 0):
+        mask = (1 << width) - 1
+        xz &= mask
+        self.width = width
+        self.xz = xz
         # Keep unknown bits of val at zero so (val, xz) is canonical.
-        object.__setattr__(self, "val", self.val & mask & ~self.xz)
+        self.val = val & mask & ~xz
+
+    def __eq__(self, other):
+        if not isinstance(other, Value):
+            return NotImplemented
+        return (self.width == other.width and self.val == other.val
+                and self.xz == other.xz)
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self):
+        return hash((self.width, self.val, self.xz))
+
+    def __repr__(self):
+        return f"Value(width={self.width}, val={self.val}, xz={self.xz})"
 
     # -- constructors --------------------------------------------------------
 
@@ -48,7 +70,11 @@ class Value:
     @staticmethod
     def unknown(width: int) -> Value:
         """All bits unknown (the power-up state of a reg)."""
-        return Value(width=width, val=0, xz=_mask(width))
+        cached = _UNKNOWN.get(width)
+        if cached is None:
+            cached = Value(width=width, val=0, xz=_mask(width))
+            _UNKNOWN[width] = cached
+        return cached
 
     # -- predicates ------------------------------------------------------
 
@@ -137,6 +163,10 @@ class Value:
         val = (self.val & keep) | ((new.val << lsb) & _mask(self.width))
         xz = (self.xz & keep) | ((new.xz << lsb) & _mask(self.width))
         return Value(width=self.width, val=val, xz=xz)
+
+
+#: Shared all-unknown values per width (immutable, so safe to share).
+_UNKNOWN: dict[int, Value] = {}
 
 
 # --------------------------------------------------------------------------
@@ -383,12 +413,14 @@ def reduce_op(op: str, a: Value) -> Value:
 
 def concat(parts: list[Value]) -> Value:
     """Concatenate MSB-first (Verilog ``{a, b}`` order)."""
-    width = sum(p.width for p in parts)
+    width = 0
     val = 0
     xz = 0
     for part in parts:
-        val = (val << part.width) | part.val
-        xz = (xz << part.width) | part.xz
+        pw = part.width
+        width += pw
+        val = (val << pw) | part.val
+        xz = (xz << pw) | part.xz
     return Value(width=width, val=val, xz=xz)
 
 

@@ -1,0 +1,37 @@
+// Golden: structural ripple-carry adder (nested instances).
+module full_adder (input a, input b, input cin, output s, output cout);
+  assign s = a ^ b ^ cin;
+  assign cout = (a & b) | (cin & (a ^ b));
+endmodule
+
+module adder4 (input [3:0] a, input [3:0] b, input cin,
+               output [3:0] sum, output cout);
+  wire [3:0] carry;
+  full_adder fa0 (.a(a[0]), .b(b[0]), .cin(cin),      .s(sum[0]), .cout(carry[0]));
+  full_adder fa1 (.a(a[1]), .b(b[1]), .cin(carry[0]), .s(sum[1]), .cout(carry[1]));
+  full_adder fa2 (.a(a[2]), .b(b[2]), .cin(carry[1]), .s(sum[2]), .cout(carry[2]));
+  full_adder fa3 (.a(a[3]), .b(b[3]), .cin(carry[2]), .s(sum[3]), .cout(carry[3]));
+  assign cout = carry[3];
+endmodule
+
+module adder8 (input [7:0] a, input [7:0] b, output [7:0] sum,
+               output cout);
+  wire mid;
+  adder4 lo (.a(a[3:0]), .b(b[3:0]), .cin(1'b0), .sum(sum[3:0]), .cout(mid));
+  adder4 hi (.a(a[7:4]), .b(b[7:4]), .cin(mid),  .sum(sum[7:4]), .cout(cout));
+endmodule
+
+module tb;
+  reg [7:0] a, b; wire [7:0] sum; wire cout;
+  integer i;
+  adder8 dut (.a(a), .b(b), .sum(sum), .cout(cout));
+  initial begin
+    for (i = 0; i < 6; i = i + 1) begin
+      a = 8'd37 * i[7:0]; b = 8'd11 + 8'd29 * i[7:0];
+      #2;
+      $display("%d + %d = %d cout=%b (lo carry=%b)",
+               a, b, sum, cout, dut.lo.carry);
+    end
+    $finish;
+  end
+endmodule

@@ -1,0 +1,34 @@
+// Golden: combinational ALU swept across all opcodes.
+module alu (input [7:0] a, input [7:0] b, input [2:0] op,
+            output reg [7:0] y, output reg zero);
+  always @(*) begin
+    case (op)
+      3'd0: y = a + b;
+      3'd1: y = a - b;
+      3'd2: y = a & b;
+      3'd3: y = a | b;
+      3'd4: y = a ^ b;
+      3'd5: y = ~a;
+      3'd6: y = a << 1;
+      default: y = a >> 1;
+    endcase
+    zero = (y == 8'd0);
+  end
+endmodule
+
+module tb;
+  reg [7:0] a, b; reg [2:0] op; wire [7:0] y; wire zero;
+  integer i;
+  alu dut (.a(a), .b(b), .op(op), .y(y), .zero(zero));
+  initial begin
+    a = 8'hC3; b = 8'h3C;
+    for (i = 0; i < 8; i = i + 1) begin
+      op = i[2:0];
+      #2;
+      $display("op=%d y=%h zero=%b", op, y, zero);
+    end
+    a = 8'h00; b = 8'h00; op = 3'd0; #2;
+    $display("zero case: y=%h zero=%b", y, zero);
+    $finish;
+  end
+endmodule

@@ -1,0 +1,36 @@
+// Golden: priority decoder via casez wildcards (x/z handling).
+module decoder (input [7:0] req, output reg [2:0] grant,
+                output reg valid);
+  always @(*) begin
+    valid = 1'b1;
+    casez (req)
+      8'b1???????: grant = 3'd7;
+      8'b01??????: grant = 3'd6;
+      8'b001?????: grant = 3'd5;
+      8'b0001????: grant = 3'd4;
+      8'b00001???: grant = 3'd3;
+      8'b000001??: grant = 3'd2;
+      8'b0000001?: grant = 3'd1;
+      8'b00000001: grant = 3'd0;
+      default: begin grant = 3'd0; valid = 1'b0; end
+    endcase
+  end
+endmodule
+
+module tb;
+  reg [7:0] req; wire [2:0] grant; wire valid;
+  integer i;
+  decoder dut (.req(req), .grant(grant), .valid(valid));
+  initial begin
+    req = 8'h00; #1;
+    $display("req=%b grant=%d valid=%b", req, grant, valid);
+    for (i = 0; i < 8; i = i + 1) begin
+      req = (8'h01 << i[2:0]) | (8'h01 >> 1);
+      #1;
+      $display("req=%b grant=%d valid=%b", req, grant, valid);
+    end
+    req = 8'b0010_1100; #1;
+    $display("mixed req=%b grant=%d valid=%b", req, grant, valid);
+    $finish;
+  end
+endmodule

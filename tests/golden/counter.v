@@ -1,0 +1,25 @@
+// Golden: enabled counter with synchronous reset.
+module counter (input clk, input rst, input en, output reg [3:0] count);
+  always @(posedge clk)
+    if (rst) count <= 4'd0;
+    else if (en) count <= count + 4'd1;
+endmodule
+
+module tb;
+  reg clk, rst, en; wire [3:0] count;
+  integer i;
+  counter dut (.clk(clk), .rst(rst), .en(en), .count(count));
+  initial begin
+    clk = 0; rst = 1; en = 0;
+    repeat (4) #5 clk = ~clk;
+    rst = 0; en = 1;
+    for (i = 0; i < 40; i = i + 1) begin
+      #5 clk = ~clk;
+      if (i % 10 == 0) $display("t=%0t count=%d", $time, count);
+    end
+    en = 0;
+    repeat (4) #5 clk = ~clk;
+    $display("final count=%d (%b)", count, count);
+    $finish;
+  end
+endmodule

@@ -1,0 +1,45 @@
+// Golden: three-state Mealy controller with case-based transitions.
+module fsm (input clk, input rst, input req, input done,
+            output reg [1:0] state, output reg grant);
+  localparam IDLE = 2'd0, BUSY = 2'd1, COOL = 2'd2;
+  always @(posedge clk)
+    if (rst) state <= IDLE;
+    else
+      case (state)
+        IDLE: state <= req ? BUSY : IDLE;
+        BUSY: state <= done ? COOL : BUSY;
+        COOL: state <= IDLE;
+        default: state <= IDLE;
+      endcase
+  always @(*) grant = (state == BUSY);
+endmodule
+
+module tb;
+  reg clk, rst, req, done; wire [1:0] state; wire grant;
+  fsm dut (.clk(clk), .rst(rst), .req(req), .done(done),
+           .state(state), .grant(grant));
+  task_free_monitor m ();
+  initial begin
+    clk = 0; rst = 1; req = 0; done = 0;
+    repeat (4) #5 clk = ~clk;
+    rst = 0;
+    $display("t=%0t state=%d grant=%b", $time, state, grant);
+    req = 1;
+    repeat (2) #5 clk = ~clk;
+    $display("t=%0t state=%d grant=%b", $time, state, grant);
+    req = 0; done = 1;
+    repeat (2) #5 clk = ~clk;
+    $display("t=%0t state=%d grant=%b", $time, state, grant);
+    done = 0;
+    repeat (2) #5 clk = ~clk;
+    $display("t=%0t state=%d grant=%b", $time, state, grant);
+    repeat (2) #5 clk = ~clk;
+    $display("t=%0t state=%d grant=%b", $time, state, grant);
+    $finish;
+  end
+endmodule
+
+module task_free_monitor ();
+  // Placeholder module: exercises multi-module elaboration with an
+  // empty instance.
+endmodule

@@ -1,0 +1,28 @@
+// Golden: gray-code counter using a conversion function, 200 cycles.
+module tb;
+  reg clk, rst;
+  reg [7:0] bin;
+  wire [7:0] gray;
+  reg [15:0] transitions;
+  function [7:0] to_gray;
+    input [7:0] value;
+    begin
+      to_gray = value ^ (value >> 1);
+    end
+  endfunction
+  assign gray = to_gray(bin);
+  always @(posedge clk)
+    if (rst) begin bin <= 8'd0; transitions <= 16'd0; end
+    else begin
+      bin <= bin + 8'd1;
+      transitions <= transitions + {15'd0, ^(gray ^ to_gray(bin + 8'd1))};
+    end
+  initial begin
+    clk = 0; rst = 1;
+    repeat (4) #5 clk = ~clk;
+    rst = 0;
+    repeat (400) #5 clk = ~clk;
+    $display("bin=%d gray=%b transitions=%d", bin, gray, transitions);
+    $finish;
+  end
+endmodule

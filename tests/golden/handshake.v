@@ -1,0 +1,36 @@
+// Golden: two processes coordinating through wait() and event controls.
+module tb;
+  reg clk, valid, ready;
+  reg [7:0] data, received;
+  reg [7:0] total;
+  integer sent;
+  always #4 clk = ~clk;
+  initial begin
+    clk = 0; valid = 0; ready = 0; data = 8'd10;
+    total = 0; sent = 0; received = 0;
+    #3;
+    repeat (5) begin
+      valid = 1;
+      wait (ready);
+      @(posedge clk);
+      data = data + 8'd10;
+      valid = 0;
+      sent = sent + 1;
+      wait (!ready);
+    end
+    $display("sent=%0d last_data=%d total=%d t=%0t",
+             sent, data, total, $time);
+    $finish;
+  end
+  initial begin
+    forever begin
+      wait (valid);
+      @(posedge clk);
+      received = data;
+      total = total + received;
+      ready = 1;
+      @(negedge clk);
+      ready = 0;
+    end
+  end
+endmodule

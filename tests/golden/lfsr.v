@@ -1,0 +1,27 @@
+// Golden: 16-bit Fibonacci LFSR, 300 cycles with running checksum.
+// Long-running on purpose: this design carries most of the cycles/sec
+// weight in benchmarks/bench_sim.py.
+module lfsr (input clk, input rst, output reg [15:0] q);
+  wire fb;
+  assign fb = q[15] ^ q[13] ^ q[12] ^ q[10];
+  always @(posedge clk)
+    if (rst) q <= 16'hACE1;
+    else q <= {q[14:0], fb};
+endmodule
+
+module tb;
+  reg clk, rst; wire [15:0] q;
+  reg [31:0] checksum;
+  lfsr dut (.clk(clk), .rst(rst), .q(q));
+  always @(posedge clk)
+    if (rst) checksum <= 32'd0;
+    else checksum <= checksum + {16'd0, q};
+  initial begin
+    clk = 0; rst = 1;
+    repeat (4) #5 clk = ~clk;
+    rst = 0;
+    repeat (600) #5 clk = ~clk;
+    $display("q=%h checksum=%h t=%0t", q, checksum, $time);
+    $finish;
+  end
+endmodule

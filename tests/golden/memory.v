@@ -1,0 +1,26 @@
+// Golden: register file with write port and two read paths.
+module tb;
+  reg clk, we; reg [2:0] waddr, raddr; reg [7:0] wdata;
+  reg [7:0] regs [0:7];
+  wire [7:0] rdata;
+  reg [7:0] snapshot;
+  integer i;
+  assign rdata = regs[raddr];
+  always @(posedge clk)
+    if (we) regs[waddr] <= wdata;
+  initial begin
+    clk = 0; we = 1;
+    for (i = 0; i < 8; i = i + 1) begin
+      waddr = i[2:0]; wdata = 8'd17 * i[7:0] + 8'd5;
+      #5 clk = ~clk; #5 clk = ~clk;
+    end
+    we = 0;
+    for (i = 7; i >= 0; i = i - 1) begin
+      raddr = i[2:0];
+      #2;
+      snapshot = rdata;
+      $display("regs[%0d]=%d (snap=%h)", i, rdata, snapshot);
+    end
+    $finish;
+  end
+endmodule

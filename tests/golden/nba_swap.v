@@ -1,0 +1,18 @@
+// Golden: non-blocking semantics — swap, pipelines, delayed NBA.
+module tb;
+  reg clk; reg [3:0] a, b; reg [3:0] p0, p1, p2;
+  reg [7:0] late;
+  always @(posedge clk) begin a <= b; b <= a; end
+  always @(posedge clk) begin p0 <= a ^ b; p1 <= p0; p2 <= p1; end
+  initial begin
+    clk = 0; a = 4'h3; b = 4'hC; p0 = 0; p1 = 0; p2 = 0;
+    late = 8'd1;
+    late <= #13 8'd99;
+    repeat (6) begin
+      #5 clk = ~clk;
+      $display("t=%0t clk=%b a=%h b=%h pipe=%h%h%h late=%d",
+               $time, clk, a, b, p0, p1, p2, late);
+    end
+    $finish;
+  end
+endmodule

@@ -1,0 +1,26 @@
+// Golden: serial-in shift register with taps.
+module shift_reg (input clk, input rst, input d, output reg [7:0] q);
+  always @(posedge clk)
+    if (rst) q <= 8'h00;
+    else q <= {q[6:0], d};
+endmodule
+
+module tb;
+  reg clk, rst, d; wire [7:0] q;
+  reg [15:0] pattern;
+  integer i;
+  shift_reg dut (.clk(clk), .rst(rst), .d(d), .q(q));
+  initial begin
+    clk = 0; rst = 1; d = 0; pattern = 16'b1011_0010_1110_0101;
+    repeat (4) #5 clk = ~clk;
+    rst = 0;
+    for (i = 15; i >= 0; i = i - 1) begin
+      d = pattern[i];
+      #5 clk = ~clk;
+      #5 clk = ~clk;
+      if (i % 4 == 0) $display("i=%0d q=%b taps=%b", i, q, {q[7], q[3], q[0]});
+    end
+    $display("final q=%h", q);
+    $finish;
+  end
+endmodule

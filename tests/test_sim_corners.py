@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.sim import (SimulationError, Simulator, elaborate,
-                       run_simulation)
+from repro.sim import (SimulationError, SimulationTimeout, Simulator,
+                       compile_design, elaborate, run_simulation)
 from repro.verilog import parse
 
 
@@ -227,6 +227,56 @@ module tb;
   end
 endmodule""")
         assert sim.value_of("out").val == 0x22
+
+
+class TestTimeoutReporting:
+    OSCILLATOR = """
+module tb;
+  reg a; wire b;
+  assign b = ~a;
+  always @(b) a = b;   // zero-delay feedback loop oscillates
+  initial begin a = 0; #10 $finish; end
+endmodule"""
+
+    def test_delta_overflow_names_process_and_delta(self):
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulate(self.OSCILLATOR)
+        err = excinfo.value
+        message = str(err)
+        # The offending process and the delta count are both carried in
+        # the message and as attributes.  The oscillation loop runs
+        # through the continuous assign and the always block; either
+        # may be the last event dispatched.
+        assert "process in 'top' (line" in message
+        assert "delta cycles" in message
+        assert err.process is not None
+        assert "always" in err.process or "assign" in err.process
+        assert isinstance(err.delta, int) and err.delta > 0
+
+    def test_compiled_backend_reports_the_same_shape(self):
+        design = elaborate(parse(self.OSCILLATOR), "tb")
+        compiled = compile_design(design)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            sim = compiled.simulator()
+            sim.run(max_time=100000)
+        err = excinfo.value
+        assert err.process is not None
+        assert "always" in err.process or "assign" in err.process
+        assert isinstance(err.delta, int) and err.delta > 0
+
+    def test_runaway_always_names_process(self):
+        with pytest.raises(SimulationTimeout) as excinfo:
+            design = elaborate(parse("""
+module tb;
+  reg [3:0] x;
+  initial x = 0;
+  always x = x + 1;   // no delay, no event control
+endmodule"""), "tb")
+            sim = Simulator(design, step_budget=20_000)
+            sim.run(max_time=100)
+        err = excinfo.value
+        assert err.process is not None
+        assert "always" in err.process or "always" in str(err)
 
 
 class TestElaborationCorners:
