@@ -17,11 +17,18 @@ Commands mirror the tool chain a user drives interactively:
 * ``tables``    — regenerate the paper's tables/figures (``--only``
   computes just the requested ones; ``--jobs``/``--cache-dir`` reach
   Tables 3–5 through the engine)
+* ``serve``     — run the crash-safe job daemon (``repro.serve``):
+  augmentation, evaluation, simulation and experiments as journaled,
+  resumable jobs behind a JSON HTTP API
+* ``submit`` / ``status`` / ``result`` / ``cancel`` — client commands
+  talking to a running daemon (``--url``)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 
@@ -178,62 +185,156 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    from .bench import GENERATION_SUITES, generation_suite, scgen_suite
-    from .eval import (evaluate_generation, evaluate_repair,
-                       evaluate_scripts, render_table3, render_table4,
-                       render_table5)
-    from .llm import (TABLE3_MODEL_ORDER, TABLE4_MODEL_ORDER,
-                      TABLE5_MODEL_ORDER, get_model)
+    from .eval import run_suite
     engine = _eval_engine(args)
-    # Sample budget: candidates per cell, or max attempts for scripts
-    # (the paper's pass@10).
-    samples = args.samples if args.samples is not None \
-        else (10 if args.suite == "scripts" else 5)
-    if args.suite in GENERATION_SUITES:
-        names = args.models.split(",") if args.models \
-            else list(TABLE5_MODEL_ORDER)
-        problems = list(generation_suite(args.suite))
-        levels = tuple(args.levels.split(",")) if args.levels \
-            else ("low", "middle", "high")
-        report = evaluate_generation(
-            [get_model(name) for name in names], problems,
-            levels=levels, n_samples=samples, engine=engine,
-            sim_backend=args.sim_backend)
-        thakur_names = [p.name for p in problems if p.suite == "thakur"]
-        rtllm_names = [p.name for p in problems if p.suite == "rtllm"]
-        rendered = render_table5(report, thakur_names, rtllm_names,
-                                 levels=levels, pass_k=args.k)
-    elif args.suite == "repair":
-        from .bench import rtllm_suite
-        names = args.models.split(",") if args.models \
-            else list(TABLE3_MODEL_ORDER)
-        problems = list(rtllm_suite())
-        report = evaluate_repair([get_model(name) for name in names],
-                                 problems, seed=args.seed,
-                                 n_samples=samples, engine=engine,
-                                 sim_backend=args.sim_backend)
-        rendered = render_table3(report, [p.name for p in problems])
-    else:   # scripts
-        names = args.models.split(",") if args.models \
-            else list(TABLE4_MODEL_ORDER)
-        tasks = list(scgen_suite())
-        report = evaluate_scripts([get_model(name) for name in names],
-                                  tasks, max_attempts=samples,
-                                  engine=engine)
-        rendered = render_table4(report, [t.name for t in tasks])
-    print(rendered)
+    result = run_suite(
+        args.suite,
+        models=args.models.split(",") if args.models else None,
+        samples=args.samples, k=args.k,
+        levels=tuple(args.levels.split(",")) if args.levels else None,
+        seed=args.seed, engine=engine, sim_backend=args.sim_backend)
+    print(result.rendered)
     print(f"-- {engine.stats.summary()}")
-    from .sim import backend_stats
-    stats = backend_stats()
+    # The engine aggregates each worker's thread-local counters back
+    # through its result stream, so these totals are exact for any
+    # --jobs setting (cached cells simply ran no simulations).
+    stats = engine.sim_stats
     if stats.compiled_runs or stats.interp_runs or stats.fallbacks:
-        # Counters are per-process; with --jobs > 1 most simulation
-        # happens in pool workers whose counters stay there.
-        qualifier = " (main process only)" if args.jobs > 1 else ""
-        print(f"-- {stats.summary()}{qualifier}")
+        print(f"-- {stats.summary()}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(rendered + "\n")
+            handle.write(result.rendered + "\n")
         print(f"-- wrote report to {args.out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import Daemon, make_server
+    from .serve import JOB_KINDS
+    budgets = {}
+    for item in args.budget or ():
+        kind, _, count = item.partition("=")
+        if kind not in JOB_KINDS or not count.isdigit():
+            print(f"bad --budget '{item}' (want kind=N with kind in "
+                  f"{', '.join(JOB_KINDS)}; N=0 pauses the kind)",
+                  file=sys.stderr)
+            return 2
+        budgets[kind] = int(count)
+    daemon = Daemon(args.store, budgets=budgets or None,
+                    engine_jobs=args.jobs, workers=args.workers,
+                    batch_limit=args.batch_limit)
+    server = make_server(daemon, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    daemon.start()
+    if daemon.store.recovered:
+        print(f"-- recovered {len(daemon.store.recovered)} "
+              f"interrupted job(s): "
+              f"{', '.join(daemon.store.recovered)}", flush=True)
+    print(f"-- serving on http://{host}:{port} "
+          f"(store {args.store})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        daemon.stop()
+        print("-- daemon stopped (store compacted)")
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from .serve import ServeClient
+    return ServeClient(args.url)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+    if args.job_kind == "augment":
+        spec = {"paths": [os.path.abspath(p) for p in args.paths],
+                "seed": args.seed,
+                "completion_only": args.completion_only}
+    elif args.job_kind == "evaluate":
+        spec = {"suite": args.suite,
+                "models": args.models.split(",") if args.models
+                else None,
+                "samples": args.samples, "k": args.k,
+                "levels": args.levels.split(",") if args.levels
+                else None,
+                "seed": args.seed, "sim_backend": args.sim_backend}
+    elif args.job_kind == "simulate":
+        spec = {"source": _read(args.file), "top": args.top,
+                "backend": args.sim_backend, "vcd": args.vcd}
+    else:   # experiment
+        spec = {"name": args.name, "quick": not args.full}
+    try:
+        job = _client(args).submit(args.job_kind, spec,
+                                   priority=args.priority)
+    except ServeError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"-- submitted {job['id']} ({job['kind']}, "
+          f"priority {job['priority']})")
+    print(job["id"])
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+    client = _client(args)
+    try:
+        if args.job:
+            job = client.status(args.job)
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return 0
+        jobs = client.jobs()
+        health = client.health()
+    except ServeError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    for job in jobs:
+        line = (f"{job['id']}  {job['kind']:<10} "
+                f"{job['state']:<9} prio={job['priority']}")
+        if job.get("error"):
+            line += f"  error: {job['error']}"
+        print(line)
+    counts = health["jobs"]
+    summary = ", ".join(f"{state}={count}"
+                        for state, count in sorted(counts.items()))
+    print(f"-- {len(jobs)} job(s): {summary or 'none'}")
+    print(f"-- queues: {health['queue_depths'] or {}} "
+          f"in-flight: {health['in_flight'] or {}}")
+    print(f"-- {health['sim_backend']['summary']}")
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+    try:
+        blob = _client(args).result(args.job)
+    except ServeError as exc:
+        print(f"result not available: {exc}", file=sys.stderr)
+        return 1
+    if args.json or "rendered" not in blob:
+        text = json.dumps(blob, indent=2, sort_keys=True)
+    else:
+        text = blob["rendered"]
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"-- wrote {args.out}")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+    try:
+        job = _client(args).cancel(args.job)
+    except ServeError as exc:
+        print(f"cancel failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"-- cancelled {job['id']}")
     return 0
 
 
@@ -353,6 +454,90 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="also write the report to this file")
     add_engine_options(p)
     p.set_defaults(fn=cmd_evaluate)
+
+    # Mirrors repro.serve.daemon.DEFAULT_PORT (kept literal so parser
+    # construction stays import-light; test_serve_recovery pins them).
+    DEFAULT_PORT = 8471
+
+    p = sub.add_parser("serve",
+                       help="run the crash-safe job daemon "
+                            "(augment/evaluate/simulate as jobs)")
+    p.add_argument("--store", required=True,
+                   help="persistent job store directory (journal, "
+                        "snapshot, results, caches)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help=f"API port (default {DEFAULT_PORT}; 0 = "
+                        "ephemeral, printed on startup)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per engine run inside a job")
+    p.add_argument("--workers", type=int, default=2,
+                   help="daemon worker threads executing batches")
+    p.add_argument("--batch-limit", type=int, default=8,
+                   help="max jobs grouped into one shared run")
+    p.add_argument("--budget", action="append", metavar="KIND=N",
+                   help="per-kind concurrent-batch budget, e.g. "
+                        "simulate=4 (repeatable)")
+    p.set_defaults(fn=cmd_serve)
+
+    def add_client_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                       help="daemon base URL")
+
+    p = sub.add_parser("submit", help="submit a job to the daemon")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (FIFO within a priority)")
+    add_client_options(p)
+    kinds = p.add_subparsers(dest="job_kind", required=True)
+
+    k = kinds.add_parser("augment", help="augmentation job")
+    k.add_argument("paths", nargs="+",
+                   help="Verilog files/directories (daemon-local paths)")
+    k.add_argument("--seed", type=int, default=0)
+    k.add_argument("--completion-only", action="store_true")
+
+    k = kinds.add_parser("evaluate", help="benchmark-suite job")
+    k.add_argument("--suite", choices=EVAL_SUITES, default="generation")
+    k.add_argument("--models")
+    k.add_argument("--samples", type=int, default=None)
+    k.add_argument("--k", type=int, default=5)
+    k.add_argument("--levels")
+    k.add_argument("--seed", type=int, default=0)
+    k.add_argument("--sim-backend", choices=("compiled", "interp"),
+                   default=None)
+
+    k = kinds.add_parser("simulate", help="simulation job")
+    k.add_argument("file", help="Verilog file (inlined into the spec)")
+    k.add_argument("--top")
+    k.add_argument("--sim-backend", choices=("compiled", "interp"),
+                   default=None)
+    k.add_argument("--vcd", action="store_true",
+                   help="include VCD text in the result blob")
+
+    k = kinds.add_parser("experiment",
+                         help="paper table/figure by registry id")
+    k.add_argument("name", help="experiment id, e.g. table5")
+    k.add_argument("--full", action="store_true")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="job/daemon status")
+    p.add_argument("job", nargs="?",
+                   help="job id (omit to list all jobs + health)")
+    add_client_options(p)
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("result", help="fetch a finished job's result")
+    p.add_argument("job")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw result blob")
+    p.add_argument("--out", help="also write the output to this file")
+    add_client_options(p)
+    p.set_defaults(fn=cmd_result)
+
+    p = sub.add_parser("cancel", help="cancel a queued job")
+    p.add_argument("job")
+    add_client_options(p)
+    p.set_defaults(fn=cmd_cancel)
     return parser
 
 

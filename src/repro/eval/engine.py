@@ -128,6 +128,24 @@ class EvalTask:
                        self.n_samples, payload_digest(self.payload))
 
 
+def run_eval_task_traced(task: EvalTask) -> tuple[dict, "object"]:
+    """Execute one cell and capture its simulator-backend counters.
+
+    Returns ``(blob, stats_delta)`` where ``stats_delta`` is the
+    :class:`repro.sim.BackendStats` increment this cell caused *in the
+    executing thread*.  Counters are thread-local (each pool worker —
+    thread or process — owns its own), so per-task deltas are exact and
+    summing them over the result stream recovers the true totals no
+    matter where the work ran.  Module-level (picklable) so the
+    :class:`WorkPool` can run it in a worker process.
+    """
+    from ..sim import backend_stats
+    stats = backend_stats()
+    before = stats.copy()
+    blob = run_eval_task(task)
+    return blob, stats.delta_since(before)
+
+
 def run_eval_task(task: EvalTask) -> dict:
     """Execute one cell; returns its JSON-serialisable result blob.
 
@@ -212,13 +230,20 @@ class EvalEngine:
 
     def __init__(self, jobs: int = 1, cache_dir: str | None = None,
                  use_threads: bool = False):
+        from ..sim import BackendStats
         self.jobs = max(1, jobs)
         self.cache_dir = cache_dir
         self.use_threads = use_threads
         self.stats = EngineStats(jobs=self.jobs)
+        #: Simulator-backend counters aggregated across *all* workers of
+        #: every :meth:`run` on this engine (exact with ``jobs > 1``,
+        #: unlike the per-thread ``repro.sim.backend_stats()`` counters,
+        #: which only ever see the calling thread's own work).
+        self.sim_stats = BackendStats()
 
     def run(self, tasks: list[EvalTask]) -> list[dict]:
         """Evaluate every task; returns result blobs in task order."""
+        from ..sim import BackendStats
         cache = (EvalCache(self.cache_dir, engine_fingerprint())
                  if self.cache_dir else None)
         results: list[dict | None] = [None] * len(tasks)
@@ -233,13 +258,16 @@ class EvalEngine:
             else:
                 dirty[index] = task
 
+        sim_stats = BackendStats()
         if dirty:
             done = 0
 
-            def on_done(index: int, blob: dict) -> None:
+            def on_done(index: int, traced: tuple[dict, object]) -> None:
                 nonlocal done
+                sim_stats.add(traced[1])
                 if cache is not None:
-                    cache.store(tasks[index].slot(), keys[index], blob)
+                    cache.store(tasks[index].slot(), keys[index],
+                                traced[0])
                     done += 1
                     # Periodic flush keeps an interrupted run warm
                     # without rewriting the manifest per cell (O(n^2)
@@ -249,11 +277,12 @@ class EvalEngine:
                         cache.flush()
 
             pool = WorkPool(jobs=self.jobs, use_threads=self.use_threads)
-            for index, blob in pool.map(run_eval_task, dirty,
-                                        on_done=on_done).items():
-                results[index] = blob
+            for index, traced in pool.map(run_eval_task_traced, dirty,
+                                          on_done=on_done).items():
+                results[index] = traced[0]
         if cache is not None:
             cache.flush()
+        self.sim_stats.add(sim_stats)
 
         self.stats = EngineStats(
             tasks=len(tasks),

@@ -1,0 +1,42 @@
+"""Crash-safe job service over augment / evaluate / simulate.
+
+The service front-end the ROADMAP's production north star needs: the
+batch subsystems (``repro.scale``, ``repro.eval``, ``repro.sim``)
+become first-class *jobs* behind a long-lived daemon —
+
+* :mod:`jobs`      — job model + spec validation
+* :mod:`store`     — :class:`JobStore`: append-only JSONL journal +
+  atomic snapshot; every transition journaled, kill-and-resume safe
+* :mod:`scheduler` — priority/FIFO queues, per-kind budgets,
+  fingerprint-compatible batching
+* :mod:`executor`  — deterministic job execution (results are pure
+  functions of the spec; byte-identical direct vs daemon vs resumed)
+* :mod:`daemon`    — worker threads + JSON-over-HTTP API
+* :mod:`client`    — stdlib client used by the CLI and tests
+
+Proven by the fault-injection harness in
+``tests/test_serve_recovery.py``; see ROADMAP "repro.serve".
+"""
+
+from .client import DEFAULT_URL, ServeClient, ServeError
+from .daemon import DEFAULT_PORT, Daemon, make_server
+from .executor import (BatchResult, JobOutcome, compat_key, execute_batch,
+                       execute_job)
+from .jobs import (JOB_KINDS, JOB_STATES, TERMINAL_STATES, Job, SpecError,
+                   validate_spec)
+from .scheduler import (DEFAULT_BATCH_LIMIT, DEFAULT_BUDGETS, Batch,
+                        Scheduler)
+from .store import (CRASH_AFTER_ENV, CRASH_MODE_ENV,
+                    STORE_FORMAT_VERSION, JobStore, StoreError)
+
+__all__ = [
+    "Job", "JOB_KINDS", "JOB_STATES", "TERMINAL_STATES", "SpecError",
+    "validate_spec",
+    "JobStore", "StoreError", "STORE_FORMAT_VERSION",
+    "CRASH_AFTER_ENV", "CRASH_MODE_ENV",
+    "Scheduler", "Batch", "DEFAULT_BUDGETS", "DEFAULT_BATCH_LIMIT",
+    "compat_key", "execute_batch", "execute_job", "JobOutcome",
+    "BatchResult",
+    "Daemon", "make_server", "DEFAULT_PORT",
+    "ServeClient", "ServeError", "DEFAULT_URL",
+]

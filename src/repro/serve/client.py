@@ -1,0 +1,105 @@
+"""Thin stdlib HTTP client for the job daemon.
+
+Used by ``repro submit/status/result/cancel`` and by the test
+harnesses; every method mirrors one endpoint of
+:mod:`repro.serve.daemon`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from .daemon import DEFAULT_PORT
+from .jobs import TERMINAL_STATES
+
+DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"HTTP {status}: "
+                         f"{payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talk to one daemon at ``url`` (default local, default port)."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, body: dict | None = None):
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path, data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST" if body is not None else "GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                payload = {"error": str(exc)}
+            raise ServeError(exc.code, payload) from None
+
+    # -- endpoints --------------------------------------------------------
+
+    def submit(self, kind: str, spec: dict, priority: int = 0) -> dict:
+        return self._request("/api/submit", {"kind": kind, "spec": spec,
+                                             "priority": priority})
+
+    def status(self, job_id: str) -> dict:
+        return self._request(f"/api/job/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("/api/jobs")
+
+    def result(self, job_id: str) -> dict:
+        return self._request(f"/api/result/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request(f"/api/cancel/{job_id}", {})
+
+    def health(self) -> dict:
+        return self._request("/api/health")
+
+    # -- helpers ----------------------------------------------------------
+
+    def wait(self, job_ids: list[str], timeout: float = 120.0,
+             poll: float = 0.05) -> dict[str, dict]:
+        """Poll until every job reaches a terminal state.
+
+        Returns ``id → job dict``; raises :class:`TimeoutError` if the
+        deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        jobs: dict[str, dict] = {}
+        pending = list(job_ids)
+        while pending:
+            still = []
+            for job_id in pending:
+                job = self.status(job_id)
+                if job["state"] in TERMINAL_STATES:
+                    jobs[job_id] = job
+                else:
+                    still.append(job_id)
+            pending = still
+            if pending:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"jobs not terminal after {timeout}s: "
+                        f"{', '.join(pending)}")
+                time.sleep(poll)
+        return jobs

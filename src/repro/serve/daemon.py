@@ -1,0 +1,337 @@
+"""The long-lived job daemon and its JSON-over-HTTP API.
+
+One :class:`Daemon` owns a :class:`~repro.serve.store.JobStore`, a
+:class:`~repro.serve.scheduler.Scheduler` and a small pool of worker
+threads.  Workers claim scheduler batches under a shared condition
+lock, execute them *outside* the lock (the heavy lifting parallelises
+through the subsystems' own pools), and commit the outcomes back
+through the store — so every transition is journaled and a SIGKILL at
+any point resumes cleanly on the next start (interrupted jobs are
+requeued by the store; see ``repro.serve.store``).
+
+API surface (all JSON)::
+
+    POST /api/submit            {kind, spec, priority?} → job
+    GET  /api/jobs              [job, ...]
+    GET  /api/job/<id>          job
+    GET  /api/result/<id>       result blob (409 until done)
+    POST /api/cancel/<id>       job (409 unless still queued)
+    GET  /api/health            queues, budgets, counts, caches, sim
+
+The health payload reports queue depths and in-flight batches per
+kind, job-state counts, ``last_run`` hit/miss counters from every
+cache manifest under the work dir, and the daemon's aggregated
+simulator-backend stats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .executor import execute_batch
+from .jobs import SpecError, validate_spec
+from .scheduler import DEFAULT_BATCH_LIMIT, Scheduler
+from .store import JobStore
+
+#: Default API port (`repro serve` / clients agree through here).
+DEFAULT_PORT = 8471
+
+
+class Daemon:
+    """Crash-safe job service: store + scheduler + worker threads."""
+
+    def __init__(self, store_dir: str, budgets: dict[str, int] | None = None,
+                 engine_jobs: int = 1, workers: int = 2,
+                 batch_limit: int = DEFAULT_BATCH_LIMIT,
+                 configure_sim_cache: bool = True):
+        from ..sim import BackendStats
+        self.store_dir = store_dir
+        self.work_dir = os.path.join(store_dir, "work")
+        self.engine_jobs = max(1, engine_jobs)
+        self.workers = max(1, workers)
+        os.makedirs(self.work_dir, exist_ok=True)
+        if configure_sim_cache:
+            # Persist compile verdicts next to the job caches so warm
+            # restarts skip doomed compile attempts (PR 3 layer).
+            from ..sim import configure_design_cache
+            configure_design_cache(
+                root=os.path.join(self.work_dir, "sim-designs"))
+        self.store = JobStore(store_dir)
+        self.scheduler = Scheduler(budgets=budgets,
+                                   batch_limit=batch_limit)
+        self.sim_stats = BackendStats()
+        self._cond = threading.Condition()
+        self._stop = False
+        self._threads: list[threading.Thread] = []
+        # Resume: everything the previous daemon left queued (including
+        # jobs the store just requeued) goes straight back on the queue.
+        for job in self.store.queued():
+            self.scheduler.submit(job)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker,
+                                      name=f"serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop workers after their current batch, then compact the
+        store.  Queued jobs stay journaled and resume on next start."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        with self._cond:
+            self.store.close()
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until no work is queued or in flight (True), or until
+        the timeout elapses (False)."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not len(self.scheduler)
+                and not sum(self.scheduler.in_flight.values()),
+                timeout=timeout)
+
+    # -- operations (thread-safe) -----------------------------------------
+
+    def submit(self, kind: str, spec: dict, priority: int = 0):
+        spec = validate_spec(kind, spec)
+        with self._cond:
+            job = self.store.submit(kind, spec, priority=priority)
+            self.scheduler.submit(job)
+            self._cond.notify_all()
+            return job.to_dict()
+
+    def cancel(self, job_id: str) -> dict | None:
+        """Cancel a queued job; None if it is not cancellable."""
+        with self._cond:
+            if not self.scheduler.cancel(job_id):
+                return None
+            job = self.store.mark_cancelled(job_id)
+            self._cond.notify_all()
+            return job.to_dict()
+
+    def job(self, job_id: str) -> dict | None:
+        with self._cond:
+            job = self.store.jobs.get(job_id)
+            return job.to_dict() if job is not None else None
+
+    def jobs(self) -> list[dict]:
+        with self._cond:
+            return [job.to_dict() for job in
+                    sorted(self.store.jobs.values(),
+                           key=lambda j: j.seq)]
+
+    def result(self, job_id: str) -> dict | None:
+        with self._cond:
+            return self.store.result(job_id)
+
+    def health(self) -> dict:
+        with self._cond:
+            stats = self.sim_stats
+            return {
+                "queue_depths": self.scheduler.queue_depths(),
+                "in_flight": dict(self.scheduler.in_flight),
+                "budgets": {kind: self.scheduler.budget_for(kind)
+                            for kind in self.scheduler.budgets},
+                "jobs": self.store.counts(),
+                "recovered": list(self.store.recovered),
+                "caches": self._cache_health(),
+                "sim_backend": {
+                    "summary": stats.summary(),
+                    "compiled_runs": stats.compiled_runs,
+                    "interp_runs": stats.interp_runs,
+                    "fallbacks": stats.fallbacks,
+                    "compiles": stats.compiles,
+                    "cache_hits": stats.cache_hits,
+                },
+            }
+
+    def _cache_health(self) -> dict[str, dict]:
+        """``last_run`` hit/miss counters from every cache manifest the
+        work dir has accumulated (augment shards, eval cells, compile
+        verdicts)."""
+        caches: dict[str, dict] = {}
+        try:
+            names = sorted(os.listdir(self.work_dir))
+        except OSError:
+            return caches
+        for name in names:
+            manifest = os.path.join(self.work_dir, name, "manifest.json")
+            try:
+                with open(manifest, encoding="utf-8") as handle:
+                    blob = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            caches[name] = blob.get("last_run", {})
+        return caches
+
+    # -- workers ----------------------------------------------------------
+
+    def _claim(self):
+        with self._cond:
+            while not self._stop:
+                batch = self.scheduler.next_batch()
+                if batch is not None:
+                    for job in batch.jobs:
+                        try:
+                            self.store.mark_running(job.id)
+                        except Exception as exc:
+                            # Non-fatal: execution proceeds and the
+                            # done/fail transition is legal straight
+                            # from `queued`.
+                            print(f"serve: failed to journal start of "
+                                  f"{job.id}: {exc}", file=sys.stderr)
+                    return batch
+                self._cond.wait(0.1)
+            return None
+
+    def _commit(self, batch, result) -> None:
+        """Journal a batch's outcomes.  A store write failing (e.g.
+        disk full) must not kill the worker: the job simply stays
+        ``running`` and is requeued on the next daemon start."""
+        for job in batch.jobs:
+            outcome = result.outcomes.get(job.id)
+            try:
+                if outcome is not None and outcome.ok:
+                    self.store.mark_done(job.id, outcome.blob)
+                else:
+                    error = outcome.error if outcome is not None \
+                        else "no outcome produced"
+                    self.store.mark_failed(job.id, error)
+            except Exception as exc:
+                print(f"serve: failed to journal outcome of "
+                      f"{job.id}: {exc}", file=sys.stderr)
+        if result.sim_stats is not None:
+            self.sim_stats.add(result.sim_stats)
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._claim()
+            if batch is None:
+                return
+            try:
+                result = execute_batch(batch.kind, batch.jobs,
+                                       self.work_dir,
+                                       engine_jobs=self.engine_jobs)
+                with self._cond:
+                    self._commit(batch, result)
+            finally:
+                # The budget slot is released no matter what failed
+                # above — a wedged kind would otherwise outlive the
+                # error that wedged it.
+                with self._cond:
+                    self.scheduler.finish(batch)
+                    self._cond.notify_all()
+
+
+# --------------------------------------------------------------------------
+# HTTP layer
+# --------------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON request/response plumbing around one :class:`Daemon`."""
+
+    daemon_ref: Daemon = None       # set by make_server
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:     # quiet by default
+        pass
+
+    def _reply(self, code: int, payload) -> None:
+        body = (json.dumps(payload, ensure_ascii=False, sort_keys=True)
+                + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0") or 0)
+        if not length:
+            return {}
+        blob = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(blob, dict):
+            raise ValueError("request body must be a JSON object")
+        return blob
+
+    def do_GET(self) -> None:
+        daemon = self.daemon_ref
+        path = self.path.rstrip("/")
+        if path == "/api/health":
+            self._reply(200, daemon.health())
+        elif path == "/api/jobs":
+            self._reply(200, daemon.jobs())
+        elif path.startswith("/api/job/"):
+            job = daemon.job(path.rsplit("/", 1)[1])
+            if job is None:
+                self._reply(404, {"error": "unknown job"})
+            else:
+                self._reply(200, job)
+        elif path.startswith("/api/result/"):
+            job_id = path.rsplit("/", 1)[1]
+            job = daemon.job(job_id)
+            if job is None:
+                self._reply(404, {"error": "unknown job"})
+            elif job["state"] != "done":
+                self._reply(409, {"error": f"job is {job['state']}",
+                                  "job": job})
+            else:
+                result = daemon.result(job_id)
+                if result is None:
+                    self._reply(500, {"error": "result unavailable"})
+                else:
+                    self._reply(200, result)
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        daemon = self.daemon_ref
+        path = self.path.rstrip("/")
+        try:
+            if path == "/api/submit":
+                body = self._body()
+                job = daemon.submit(body.get("kind", ""),
+                                    body.get("spec", {}),
+                                    priority=int(body.get("priority",
+                                                          0)))
+                self._reply(200, job)
+            elif path.startswith("/api/cancel/"):
+                job_id = path.rsplit("/", 1)[1]
+                job = daemon.cancel(job_id)
+                if job is not None:
+                    self._reply(200, job)
+                elif daemon.job(job_id) is None:
+                    self._reply(404, {"error": "unknown job"})
+                else:
+                    self._reply(409, {"error": "job is not queued",
+                                      "job": daemon.job(job_id)})
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+        except SpecError as exc:
+            self._reply(400, {"error": str(exc)})
+        except ValueError as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+
+
+def make_server(daemon: Daemon, host: str = "127.0.0.1",
+                port: int = DEFAULT_PORT) -> ThreadingHTTPServer:
+    """Bind (but do not run) the daemon's HTTP server.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``server.server_address``.
+    """
+    handler = type("BoundHandler", (_Handler,), {"daemon_ref": daemon})
+    return ThreadingHTTPServer((host, port), handler)

@@ -1,0 +1,219 @@
+"""Batch execution: jobs → deterministic result blobs.
+
+**Determinism contract.**  A job's result blob is a pure function of
+its (canonical) spec — never of the daemon, the batch it shared, the
+cache state, or how many crash/resume cycles it survived.  That holds
+because every subsystem underneath already guarantees cache- and
+parallelism-invariant output (``repro.scale``, ``repro.eval``,
+``repro.sim``; see ROADMAP), and blobs only carry result-derived
+fields — no timings, no hit counters.  The fault-injection harness
+(``tests/test_serve_recovery.py``) compares daemon blobs byte-for-byte
+against :func:`execute_job` run directly in a fresh process.
+
+**Batching.**  A batch shares one run per kind: augment jobs with the
+same :meth:`~repro.core.PipelineConfig.fingerprint` share a shard
+cache (so overlapping corpora compute once), same-suite evaluate jobs
+become a single :class:`~repro.eval.engine.EvalEngine` pass over the
+union of their models (each job then renders its own model subset),
+and experiments share the engine's cell cache.  Jobs that must not mix
+get different :func:`compat_key` values, which the scheduler respects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import traceback
+from dataclasses import dataclass, field
+
+from .jobs import Job
+
+
+def _config_from_spec(spec: dict):
+    from ..core import PipelineConfig
+    if spec.get("completion_only"):
+        return PipelineConfig.completion_only()
+    return PipelineConfig(seed=spec.get("seed", 0))
+
+
+def compat_key(job: Job) -> str:
+    """Batching fingerprint: jobs may share a run iff keys match."""
+    spec = job.spec
+    if job.kind == "augment":
+        return f"augment-{_config_from_spec(spec).fingerprint()}"
+    if job.kind == "evaluate":
+        knobs = json.dumps(
+            [spec["suite"], spec["samples"], spec["levels"],
+             spec["seed"], spec["sim_backend"]], sort_keys=True)
+        digest = hashlib.sha256(knobs.encode("utf-8")).hexdigest()
+        return f"evaluate-{spec['suite']}-{digest[:12]}"
+    if job.kind == "simulate":
+        return "simulate"
+    if job.kind == "experiment":
+        return f"experiment-quick{int(bool(job.spec.get('quick', True)))}"
+    return f"{job.kind}-{job.id}"       # unknown kinds never batch
+
+
+@dataclass
+class JobOutcome:
+    """What one job produced: a blob, or an error string."""
+
+    ok: bool
+    blob: dict | None = None
+    error: str | None = None
+
+
+@dataclass
+class BatchResult:
+    """Per-job outcomes plus the batch's simulator-backend counters."""
+
+    outcomes: dict[str, JobOutcome] = field(default_factory=dict)
+    sim_stats: object = None
+
+
+def _augment_blob(spec: dict, cache_dir: str, jobs: int) -> dict:
+    from ..scale import augment_distributed
+    from ..scale.store import DEFAULT_NUM_SHARDS
+    report = augment_distributed(
+        spec["paths"], config=_config_from_spec(spec), jobs=jobs,
+        cache_dir=cache_dir,
+        num_shards=spec.get("shards") or DEFAULT_NUM_SHARDS)
+    text = report.dataset.to_jsonl()
+    per_task = {task.value: count for task, count
+                in report.dataset.task_counts().items()}
+    return {"kind": "augment", "records": len(report.dataset),
+            "per_task": per_task,
+            "sha256": hashlib.sha256(
+                text.encode("utf-8")).hexdigest(),
+            "dataset_jsonl": text}
+
+
+def _simulate_blob(spec: dict) -> dict:
+    from ..sim import run_simulation
+    result = run_simulation(spec["source"], top=spec.get("top"),
+                            trace=bool(spec.get("vcd")),
+                            backend=spec.get("backend"))
+    return {"kind": "simulate", "ok": result.ok,
+            "finished": result.finished, "time": result.time,
+            "output": result.output if result.ok else "",
+            "error": result.error, "vcd": result.vcd}
+
+
+def _execute_evaluate(jobs: list[Job], engine) -> dict[str, JobOutcome]:
+    """One engine pass over the union of the batch's models."""
+    from ..eval.suite_api import render_suite, subset_report, suite_report
+    leader = jobs[0].spec
+    union: list[str] = []
+    for job in jobs:
+        for name in job.spec["models"]:
+            if name not in union:
+                union.append(name)
+    levels = tuple(leader["levels"]) if leader["levels"] else None
+    report = suite_report(leader["suite"], union,
+                          samples=leader["samples"], levels=levels,
+                          seed=leader["seed"], engine=engine,
+                          sim_backend=leader["sim_backend"])
+    outcomes = {}
+    for job in jobs:
+        sub = subset_report(leader["suite"], report, job.spec["models"])
+        rendered = render_suite(leader["suite"], sub, levels=levels,
+                                pass_k=job.spec["k"])
+        outcomes[job.id] = JobOutcome(ok=True, blob={
+            "kind": "evaluate", "suite": leader["suite"],
+            "models": job.spec["models"], "k": job.spec["k"],
+            "rendered": rendered})
+    return outcomes
+
+
+def execute_batch(kind: str, jobs: list[Job], workdir: str,
+                  engine_jobs: int = 1) -> BatchResult:
+    """Run one scheduler batch; every job gets an outcome.
+
+    ``sim_stats`` on the returned result is the batch's exact simulator
+    accounting: the engine's worker-aggregated counters for engine-based
+    kinds, the executing thread's delta for direct simulations (the two
+    sources never overlap — counters are thread-local).
+    """
+    from ..eval import EvalEngine
+    from ..sim import BackendStats, backend_stats
+    os.makedirs(workdir, exist_ok=True)
+    result = BatchResult(sim_stats=BackendStats())
+    if kind == "augment":
+        cache_dir = os.path.join(
+            workdir, f"aug-{compat_key(jobs[0])[-12:]}")
+        for job in jobs:
+            try:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=True, blob=_augment_blob(job.spec, cache_dir,
+                                                engine_jobs))
+            except Exception as exc:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=False, error=_describe(exc))
+    elif kind == "simulate":
+        stats = backend_stats()
+        before = stats.copy()
+        for job in jobs:
+            try:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=True, blob=_simulate_blob(job.spec))
+            except Exception as exc:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=False, error=_describe(exc))
+        result.sim_stats = stats.delta_since(before)
+    elif kind == "evaluate":
+        engine = EvalEngine(jobs=engine_jobs,
+                            cache_dir=os.path.join(workdir,
+                                                   "eval-cache"))
+        try:
+            result.outcomes = _execute_evaluate(jobs, engine)
+        except Exception as exc:
+            error = _describe(exc)
+            result.outcomes = {job.id: JobOutcome(ok=False, error=error)
+                               for job in jobs}
+        result.sim_stats = engine.sim_stats
+    elif kind == "experiment":
+        from ..experiments import run_selected
+        engine = EvalEngine(jobs=engine_jobs,
+                            cache_dir=os.path.join(workdir,
+                                                   "eval-cache"))
+        for job in jobs:
+            name = job.spec["name"]
+            try:
+                rendered = run_selected(
+                    [name], quick=job.spec["quick"],
+                    engine=engine)[name]
+                result.outcomes[job.id] = JobOutcome(
+                    ok=True, blob={"kind": "experiment", "name": name,
+                                   "rendered": rendered})
+            except Exception as exc:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=False, error=_describe(exc))
+        result.sim_stats = engine.sim_stats
+    else:
+        for job in jobs:
+            result.outcomes[job.id] = JobOutcome(
+                ok=False, error=f"unknown job kind '{kind}'")
+    return result
+
+
+def _describe(exc: Exception) -> str:
+    line = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    return line
+
+
+def execute_job(kind: str, spec: dict, workdir: str,
+                engine_jobs: int = 1) -> dict:
+    """Direct (no store, no daemon) execution of one job spec.
+
+    The reference path the fault-injection tests compare daemon results
+    against; also handy for dry-running a spec before submitting it.
+    """
+    from .jobs import validate_spec
+    job = Job(id="direct", seq=0, kind=kind,
+              spec=validate_spec(kind, spec))
+    outcome = execute_batch(kind, [job], workdir,
+                            engine_jobs=engine_jobs).outcomes[job.id]
+    if not outcome.ok:
+        raise RuntimeError(outcome.error)
+    return outcome.blob

@@ -1,0 +1,180 @@
+"""Job model: kinds, states, spec validation.
+
+A *job* is one unit of service work — an augmentation run, a benchmark
+suite evaluation, a simulation, or a registered experiment — identified
+by a stable ``job-<seq>`` id.  Specs are normalised at submit time
+(defaults filled in, names validated against the registries) so that a
+job's spec is canonical from the moment it is journaled: batching
+fingerprints and resume behaviour never depend on when defaults were
+applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Every kind the service executes (see ``repro.serve.executor``).
+JOB_KINDS = ("augment", "evaluate", "simulate", "experiment")
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class SpecError(ValueError):
+    """A submitted job spec is invalid (unknown kind, suite, model…)."""
+
+
+@dataclass
+class Job:
+    """One service job.  ``seq`` is the submission counter (FIFO order);
+    ``attempts`` counts executions across crash/resume cycles."""
+
+    id: str
+    seq: int
+    kind: str
+    spec: dict
+    priority: int = 0
+    state: str = QUEUED
+    error: str | None = None
+    attempts: int = 0
+    #: sha256 of the result blob text promised by the ``done`` event.
+    result_sha256: str | None = None
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        """Scheduling order: higher priority first, then FIFO."""
+        return (-self.priority, self.seq)
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "seq": self.seq, "kind": self.kind,
+                "spec": self.spec, "priority": self.priority,
+                "state": self.state, "error": self.error,
+                "attempts": self.attempts,
+                "result_sha256": self.result_sha256}
+
+    @staticmethod
+    def from_dict(blob: dict) -> "Job":
+        return Job(id=blob["id"], seq=blob["seq"], kind=blob["kind"],
+                   spec=blob["spec"], priority=blob.get("priority", 0),
+                   state=blob.get("state", QUEUED),
+                   error=blob.get("error"),
+                   attempts=blob.get("attempts", 0),
+                   result_sha256=blob.get("result_sha256"))
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _as_int(spec: dict, key: str, default: int) -> int:
+    value = spec.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"'{key}' must be an integer")
+    return value
+
+
+def _normalize_augment(spec: dict) -> dict:
+    paths = spec.get("paths")
+    _require(isinstance(paths, list) and paths
+             and all(isinstance(p, str) for p in paths),
+             "'paths' must be a non-empty list of strings")
+    return {"paths": list(paths),
+            "seed": _as_int(spec, "seed", 0),
+            "completion_only": bool(spec.get("completion_only", False)),
+            "shards": (spec["shards"] if isinstance(spec.get("shards"),
+                                                    int) else None)}
+
+
+def _normalize_evaluate(spec: dict) -> dict:
+    from ..bench import EVAL_SUITES, GENERATION_SUITES
+    from ..eval.suite_api import (DEFAULT_LEVELS, default_samples,
+                                  suite_models)
+    from ..llm import get_model
+    suite = spec.get("suite")
+    _require(suite in EVAL_SUITES,
+             f"unknown suite '{suite}'; available: "
+             f"{', '.join(EVAL_SUITES)}")
+    models = suite_models(suite, spec.get("models"))
+    for name in models:
+        try:
+            get_model(name)
+        except KeyError:
+            raise SpecError(f"unknown model '{name}'") from None
+    levels = spec.get("levels")
+    if suite in GENERATION_SUITES:
+        if levels:
+            _require(isinstance(levels, list)
+                     and all(level in DEFAULT_LEVELS
+                             for level in levels),
+                     f"'levels' must be a list drawn from "
+                     f"{', '.join(DEFAULT_LEVELS)}")
+            levels = list(levels)
+        else:
+            levels = list(DEFAULT_LEVELS)
+    else:
+        levels = []
+    backend = spec.get("sim_backend")
+    _require(backend in (None, "compiled", "interp"),
+             f"unknown sim backend '{backend}'")
+    samples = spec.get("samples")
+    if samples is None:
+        samples = default_samples(suite)
+    _require(isinstance(samples, int) and samples > 0,
+             "'samples' must be a positive integer")
+    return {"suite": suite, "models": models, "samples": samples,
+            "k": _as_int(spec, "k", 5), "levels": levels,
+            "seed": _as_int(spec, "seed", 0), "sim_backend": backend}
+
+
+def _normalize_simulate(spec: dict) -> dict:
+    source = spec.get("source")
+    _require(isinstance(source, str) and source.strip(),
+             "'source' must be non-empty Verilog text")
+    backend = spec.get("backend")
+    _require(backend in (None, "compiled", "interp"),
+             f"unknown sim backend '{backend}'")
+    top = spec.get("top")
+    _require(top is None or isinstance(top, str),
+             "'top' must be a string module name")
+    return {"source": source, "top": top, "backend": backend,
+            "vcd": bool(spec.get("vcd", False))}
+
+
+def _normalize_experiment(spec: dict) -> dict:
+    from ..experiments import EXPERIMENTS
+    name = spec.get("name")
+    _require(name in EXPERIMENTS,
+             f"unknown experiment '{name}'; available: "
+             f"{', '.join(EXPERIMENTS)}")
+    return {"name": name, "quick": bool(spec.get("quick", True))}
+
+
+_NORMALIZERS = {
+    "augment": _normalize_augment,
+    "evaluate": _normalize_evaluate,
+    "simulate": _normalize_simulate,
+    "experiment": _normalize_experiment,
+}
+
+
+def validate_spec(kind: str, spec: dict) -> dict:
+    """Canonical spec for ``kind`` (defaults filled, names validated).
+
+    Raises :class:`SpecError` on anything a daemon shouldn't accept —
+    validation happens at submit time so the journal only ever holds
+    runnable jobs.
+    """
+    if kind not in JOB_KINDS:
+        raise SpecError(f"unknown job kind '{kind}'; available: "
+                        f"{', '.join(JOB_KINDS)}")
+    if not isinstance(spec, dict):
+        raise SpecError("spec must be a JSON object")
+    return _NORMALIZERS[kind](spec)

@@ -1,0 +1,133 @@
+"""Priority/FIFO scheduling with per-kind budgets and compat batching.
+
+Invariants (property-tested in ``tests/test_serve_scheduler.py``):
+
+* **Priority order** — :meth:`Scheduler.next_batch` always leads with
+  the queued job that has the highest priority (ties broken FIFO by
+  submission ``seq``) among kinds that still have budget.
+* **Budget** — at most ``budget[kind]`` batches of a kind are in
+  flight at once; a batch occupies one slot regardless of size (it is
+  executed as one shared run).
+* **Batch homogeneity** — every job in a batch has the same kind *and*
+  the same compatibility fingerprint (:func:`repro.serve.executor.compat_key`),
+  so e.g. augment requests with different
+  :meth:`~repro.core.PipelineConfig.fingerprint` values never share a
+  run, while same-suite evaluate requests share one engine pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .jobs import Job
+
+#: Concurrent batches allowed per kind.  Augment/evaluate runs manage
+#: their own worker pools, so one in-flight batch each keeps the machine
+#: busy without oversubscription; simulations are single-design and
+#: cheap enough to overlap.
+DEFAULT_BUDGETS = {"augment": 1, "evaluate": 1, "simulate": 2,
+                   "experiment": 1}
+
+#: Jobs grouped into one shared run, at most.
+DEFAULT_BATCH_LIMIT = 8
+
+
+@dataclass
+class Batch:
+    """Jobs executed as one shared run (same kind, same compat key)."""
+
+    kind: str
+    compat: str
+    jobs: list[Job] = field(default_factory=list)
+
+    @property
+    def ids(self) -> list[str]:
+        return [job.id for job in self.jobs]
+
+
+class Scheduler:
+    """In-memory queue discipline (persistence lives in the JobStore).
+
+    Not thread-safe by itself — the daemon serialises calls under its
+    condition lock.
+    """
+
+    def __init__(self, budgets: dict[str, int] | None = None,
+                 batch_limit: int = DEFAULT_BATCH_LIMIT,
+                 compat_fn: Callable[[Job], str] | None = None):
+        self.budgets = dict(DEFAULT_BUDGETS)
+        self.budgets.update(budgets or {})
+        self.batch_limit = max(1, batch_limit)
+        if compat_fn is None:
+            from .executor import compat_key as compat_fn
+        self._compat_fn = compat_fn
+        self._queued: dict[str, Job] = {}
+        self._compat: dict[str, str] = {}
+        self.in_flight: dict[str, int] = {}
+
+    def budget_for(self, kind: str) -> int:
+        """A kind's concurrent-batch cap; 0 disables dispatch (queued
+        jobs of that kind wait until the budget is raised)."""
+        return max(0, self.budgets.get(kind, 1))
+
+    # -- queue ------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Track a queued job (its compat key is computed once, here)."""
+        self._queued[job.id] = job
+        self._compat[job.id] = self._compat_fn(job)
+
+    def cancel(self, job_id: str) -> bool:
+        """Drop a queued job; False if it is not queued here (e.g.
+        already running — running work is never torn down mid-batch)."""
+        if self._queued.pop(job_id, None) is None:
+            return False
+        self._compat.pop(job_id, None)
+        return True
+
+    def queue_depths(self) -> dict[str, int]:
+        depths: dict[str, int] = {}
+        for job in self._queued.values():
+            depths[job.kind] = depths.get(job.kind, 0) + 1
+        return depths
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def next_batch(self) -> Batch | None:
+        """Claim the next runnable batch, or None if nothing fits.
+
+        The leader is the best-ranked queued job whose kind has budget;
+        its batch is every compatible queued job (same kind + compat
+        key) in rank order, up to ``batch_limit``.
+        """
+        eligible = [job for job in self._queued.values()
+                    if self.in_flight.get(job.kind, 0)
+                    < self.budget_for(job.kind)]
+        if not eligible:
+            return None
+        leader = min(eligible, key=lambda job: job.sort_key)
+        compat = self._compat[leader.id]
+        mates = sorted((job for job in self._queued.values()
+                        if job.kind == leader.kind
+                        and self._compat[job.id] == compat),
+                       key=lambda job: job.sort_key)
+        batch = Batch(kind=leader.kind, compat=compat,
+                      jobs=mates[:self.batch_limit])
+        for job in batch.jobs:
+            del self._queued[job.id]
+            del self._compat[job.id]
+        self.in_flight[batch.kind] = \
+            self.in_flight.get(batch.kind, 0) + 1
+        return batch
+
+    def finish(self, batch: Batch) -> None:
+        """Release the batch's budget slot."""
+        count = self.in_flight.get(batch.kind, 0) - 1
+        if count > 0:
+            self.in_flight[batch.kind] = count
+        else:
+            self.in_flight.pop(batch.kind, None)

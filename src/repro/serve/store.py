@@ -1,0 +1,381 @@
+"""Crash-safe job persistence: append-only journal + atomic snapshot.
+
+Layout under the store root::
+
+    journal.jsonl        append-only event log (fsync'd per event)
+    snapshot.json        atomic checkpoint of the full job table
+    results/<id>.json    one atomically-written blob per finished job
+
+**Write discipline.**  Every state transition is journaled *before* the
+in-memory table changes (journal-first), each journal line is flushed
+and fsync'd before the call returns, and every non-append write
+(snapshot, result blobs) goes through the same temp-file + ``os.replace``
+path as ``repro.scale`` (:func:`repro.core.records.atomic_write_text`).
+A result blob is written *before* its ``done`` event, and the event
+records the blob's sha256 — so a ``done`` job always has a verified
+result, and a crash between the two writes merely re-runs the job,
+which rewrites the identical bytes (results are pure functions of the
+spec; see ``repro.serve.executor``).
+
+**Recovery.**  Loading a store replays ``snapshot + journal suffix``:
+events numbered at or below the snapshot's watermark are skipped, a
+torn final line (the signature of a crash mid-append) is ignored, and
+jobs left ``running`` — or ``done`` with a missing/corrupt result blob —
+are requeued (journaled as ``requeue`` events, so the next snapshot is
+consistent).  No event is ever rewritten, so a crashed writer can lose
+at most the single transition it was writing — never a previously
+acknowledged one, and never a whole job.
+
+**Fault injection.**  The test harness drives the crash hooks via
+``REPRO_SERVE_CRASH_AFTER`` (crash on the Nth journal append) and
+``REPRO_SERVE_CRASH_MODE``: ``kill`` (SIGKILL after a complete append),
+``torn`` (SIGKILL halfway through the line — a torn write), or
+``raise`` (an injected :class:`OSError` before the write, simulating a
+failing disk).  See ``tests/test_serve_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+
+from ..core.records import atomic_write_text
+from .jobs import (CANCELLED, DONE, FAILED, QUEUED, RUNNING,
+                   TERMINAL_STATES, Job)
+
+#: Bump when the journal/snapshot format changes; old stores are
+#: rejected rather than misread.
+STORE_FORMAT_VERSION = 1
+
+#: Environment hooks for fault-injection tests.
+CRASH_AFTER_ENV = "REPRO_SERVE_CRASH_AFTER"
+CRASH_MODE_ENV = "REPRO_SERVE_CRASH_MODE"
+
+
+class StoreError(RuntimeError):
+    """The on-disk store is unusable (wrong version, not a store…)."""
+
+
+class JobStore:
+    """The persistent job table.
+
+    Not thread-safe by itself — the daemon serialises access under its
+    scheduler lock.  Exactly one process may own a store at a time.
+    """
+
+    #: Snapshot every N journal events to bound replay cost.
+    SNAPSHOT_EVERY = 64
+
+    def __init__(self, root: str, crash_after: int | None = None,
+                 crash_mode: str | None = None):
+        self.root = root
+        self.jobs: dict[str, Job] = {}
+        self.recovered: list[str] = []      #: job ids requeued on load
+        self._journal_path = os.path.join(root, "journal.jsonl")
+        self._snapshot_path = os.path.join(root, "snapshot.json")
+        self._results_dir = os.path.join(root, "results")
+        self._next_job_seq = 1
+        self._next_event_n = 1
+        self._since_snapshot = 0
+        if crash_after is None:
+            crash_after = int(os.environ.get(CRASH_AFTER_ENV, "0") or 0)
+            crash_mode = crash_mode or os.environ.get(CRASH_MODE_ENV)
+        self._crash_after = crash_after or 0
+        self._crash_mode = crash_mode or "kill"
+        self._appends = 0
+        os.makedirs(self._results_dir, exist_ok=True)
+        self._acquire_lock()
+        self._load()
+        self._journal = open(self._journal_path, "a", encoding="utf-8")
+        self._recover_interrupted()
+
+    # -- ownership --------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        """Enforce single ownership: a second live process on the same
+        store corrupts the journal, so fail fast instead."""
+        self._lock_path = os.path.join(self.root, "lock")
+        my_pid = os.getpid()
+        while True:
+            try:
+                fd = os.open(self._lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    with open(self._lock_path,
+                              encoding="utf-8") as handle:
+                        owner = int(handle.read().strip() or 0)
+                except (OSError, ValueError):
+                    owner = 0
+                alive = False
+                if owner and owner != my_pid:
+                    try:
+                        os.kill(owner, 0)
+                        alive = True
+                    except OSError:
+                        alive = False
+                if alive:
+                    raise StoreError(
+                        f"store {self.root} is owned by live process "
+                        f"{owner}; exactly one daemon may serve it")
+                # Stale (crashed owner) or our own earlier handle:
+                # steal the lock.
+                try:
+                    os.unlink(self._lock_path)
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{my_pid}\n")
+            return
+
+    def _release_lock(self) -> None:
+        try:
+            os.unlink(self._lock_path)
+        except OSError:
+            pass
+
+    # -- load / replay ----------------------------------------------------
+
+    def _load(self) -> None:
+        applied = 0
+        try:
+            with open(self._snapshot_path, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except OSError:
+            snapshot = None
+        except ValueError:
+            raise StoreError(f"corrupt snapshot {self._snapshot_path}")
+        if snapshot is not None:
+            if snapshot.get("version") != STORE_FORMAT_VERSION:
+                raise StoreError(
+                    f"store format {snapshot.get('version')!r} != "
+                    f"{STORE_FORMAT_VERSION} in {self._snapshot_path}")
+            self.jobs = {job_id: Job.from_dict(blob)
+                         for job_id, blob in snapshot["jobs"].items()}
+            self._next_job_seq = snapshot["next_job_seq"]
+            applied = snapshot["applied_n"]
+        self._next_event_n = applied + 1
+        try:
+            with open(self._journal_path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            text = ""
+        lines = text.splitlines()
+        kept = 0
+        for line in lines:
+            if not line.strip():
+                kept += 1
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                # A torn final line is the expected signature of a crash
+                # mid-append; everything after it cannot exist (appends
+                # are sequential), so stop replaying here.
+                break
+            n = event.get("n", 0)
+            if n < self._next_event_n:
+                kept += 1
+                continue        # already folded into the snapshot
+            if n != self._next_event_n:
+                break           # gap: refuse to replay past it
+            self._apply(event)
+            self._next_event_n = n + 1
+            kept += 1
+        if kept < len(lines) or (text and not text.endswith("\n")):
+            # Drop the torn/unreplayable tail *on disk* too — appending
+            # after a partial line would merge into it and make the next
+            # replay lose acknowledged events that follow.
+            good = "".join(line + "\n" for line in lines[:kept])
+            atomic_write_text(self._journal_path, good)
+
+    def _apply(self, event: dict) -> None:
+        """Fold one journal event into the in-memory table."""
+        kind = event["event"]
+        if kind == "submit":
+            job = Job.from_dict(event["job"])
+            self.jobs.setdefault(job.id, job)
+            self._next_job_seq = max(self._next_job_seq, job.seq + 1)
+            return
+        job = self.jobs.get(event.get("id", ""))
+        if job is None:
+            return
+        if kind == "start":
+            job.state = RUNNING
+            job.attempts += 1
+        elif kind == "done":
+            job.state = DONE
+            job.error = None
+            job.result_sha256 = event.get("sha256")
+        elif kind == "fail":
+            job.state = FAILED
+            job.error = event.get("error")
+        elif kind == "cancel":
+            job.state = CANCELLED
+        elif kind == "requeue":
+            job.state = QUEUED
+
+    def _recover_interrupted(self) -> None:
+        """Requeue work a crashed daemon left behind.
+
+        ``running`` jobs were mid-execution; ``done`` jobs whose result
+        blob is missing or fails its digest check lost a race with the
+        crash.  Both re-run from scratch — results are deterministic,
+        so the retry produces byte-identical output.
+        """
+        for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+            requeue = job.state == RUNNING
+            if job.state == DONE and self._result_text(job.id) is None:
+                requeue = True
+            if requeue:
+                self.requeue(job.id)
+                self.recovered.append(job.id)
+
+    # -- journal ----------------------------------------------------------
+
+    def _crash(self, line: str) -> None:
+        """Fault-injection point: fire the configured crash."""
+        if self._crash_mode == "raise":
+            raise OSError("injected journal write failure")
+        if self._crash_mode == "torn":
+            self._journal.write(line[:max(1, len(line) // 2)])
+        else:                   # "kill": the append itself completes
+            self._journal.write(line + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def _append(self, event: dict) -> None:
+        event = {"n": self._next_event_n, **event}
+        line = json.dumps(event, ensure_ascii=False, sort_keys=True)
+        self._appends += 1
+        if self._crash_after and self._appends >= self._crash_after:
+            self._crash(line)
+        self._journal.write(line + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+        self._next_event_n += 1
+        self._apply(event)
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.SNAPSHOT_EVERY:
+            self.write_snapshot()
+
+    # -- transitions (journal-first) --------------------------------------
+
+    def submit(self, kind: str, spec: dict, priority: int = 0) -> Job:
+        seq = self._next_job_seq
+        job = Job(id=f"job-{seq:06d}", seq=seq, kind=kind, spec=spec,
+                  priority=priority)
+        self._append({"event": "submit", "job": job.to_dict()})
+        return self.jobs[job.id]
+
+    def _transition(self, job_id: str, event: dict,
+                    allowed: tuple[str, ...]) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job '{job_id}'")
+        if job.state not in allowed:
+            raise ValueError(f"{job_id} is {job.state}, expected one "
+                             f"of {allowed}")
+        self._append({"id": job_id, **event})
+        return job
+
+    def mark_running(self, job_id: str) -> Job:
+        return self._transition(job_id, {"event": "start"}, (QUEUED,))
+
+    def mark_done(self, job_id: str, blob: dict) -> Job:
+        # Result first, then the event that promises it exists.
+        text = json.dumps(blob, ensure_ascii=False, sort_keys=True) + "\n"
+        atomic_write_text(self._result_path(job_id), text)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return self._transition(
+            job_id, {"event": "done", "sha256": digest},
+            (RUNNING, QUEUED))
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        return self._transition(
+            job_id, {"event": "fail", "error": str(error)},
+            (RUNNING, QUEUED))
+
+    def mark_cancelled(self, job_id: str) -> Job:
+        return self._transition(job_id, {"event": "cancel"}, (QUEUED,))
+
+    def requeue(self, job_id: str) -> Job:
+        return self._transition(job_id, {"event": "requeue"},
+                                (RUNNING, DONE, FAILED))
+
+    # -- results ----------------------------------------------------------
+
+    def _result_path(self, job_id: str) -> str:
+        return os.path.join(self._results_dir, f"{job_id}.json")
+
+    def _result_text(self, job_id: str) -> str | None:
+        """The verified raw result text, or None if absent/corrupt."""
+        try:
+            with open(self._result_path(job_id),
+                      encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        job = self.jobs.get(job_id)
+        expected = job.result_sha256 if job is not None else None
+        if expected is not None and hashlib.sha256(
+                text.encode("utf-8")).hexdigest() != expected:
+            return None
+        return text
+
+    def result(self, job_id: str) -> dict | None:
+        """The result blob of a ``done`` job, or None."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state != DONE:
+            return None
+        text = self._result_text(job_id)
+        if text is None:
+            return None
+        try:
+            return json.loads(text)
+        except ValueError:
+            return None
+
+    # -- queries ----------------------------------------------------------
+
+    def queued(self) -> list[Job]:
+        return sorted((job for job in self.jobs.values()
+                       if job.state == QUEUED), key=lambda j: j.sort_key)
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # -- snapshot / lifecycle ---------------------------------------------
+
+    def write_snapshot(self) -> None:
+        """Atomic checkpoint: replay can skip everything up to here."""
+        snapshot = {
+            "version": STORE_FORMAT_VERSION,
+            "applied_n": self._next_event_n - 1,
+            "next_job_seq": self._next_job_seq,
+            "jobs": {job_id: job.to_dict()
+                     for job_id, job in sorted(self.jobs.items())},
+        }
+        atomic_write_text(self._snapshot_path,
+                          json.dumps(snapshot, indent=2, sort_keys=True)
+                          + "\n")
+        self._since_snapshot = 0
+
+    def close(self) -> None:
+        """Clean shutdown: snapshot, compact the journal, release it.
+
+        Compaction order is crash-safe: the snapshot that covers every
+        journal event is durably in place *before* the journal is
+        emptied, so dying between the two steps loses nothing.
+        """
+        self.write_snapshot()
+        self._journal.close()
+        atomic_write_text(self._journal_path, "")
+        self._release_lock()

@@ -43,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass, field
 import heapq
 import json
+import threading
 
 from ..scale.cache import LRUCache, ManifestCache
 from ..verilog import ast
@@ -74,11 +75,21 @@ class CompileUnsupported(Exception):
 
 @dataclass
 class BackendStats:
-    """Per-process accounting of backend selection."""
+    """Per-thread accounting of backend selection.
+
+    Counters are kept *per thread* (and therefore per process) so
+    concurrent pool workers never race on them; callers that fan work
+    out aggregate the per-item :meth:`delta_since` snapshots back
+    through their result stream (see ``repro.eval.engine``), which is
+    exact regardless of pool type.
+    """
 
     #: Keep the per-reason dict bounded — reasons can embed design
     #: details, and a long sweep must not grow it without limit.
     MAX_REASONS = 64
+
+    _COUNTERS = ("compiled_runs", "interp_runs", "fallbacks",
+                 "compiles", "cache_hits")
 
     compiled_runs: int = 0        #: simulations served by the compiled backend
     interp_runs: int = 0          #: simulations explicitly run interpreted
@@ -95,6 +106,38 @@ class BackendStats:
         self.fallback_reasons[reason] = \
             self.fallback_reasons.get(reason, 0) + 1
 
+    def copy(self) -> "BackendStats":
+        """A detached snapshot of the current counters."""
+        return BackendStats(
+            **{name: getattr(self, name) for name in self._COUNTERS},
+            fallback_reasons=dict(self.fallback_reasons))
+
+    def delta_since(self, before: "BackendStats") -> "BackendStats":
+        """Counter increments since a :meth:`copy` snapshot."""
+        delta = BackendStats(
+            **{name: getattr(self, name) - getattr(before, name)
+               for name in self._COUNTERS})
+        for reason, count in self.fallback_reasons.items():
+            diff = count - before.fallback_reasons.get(reason, 0)
+            if diff:
+                delta.fallback_reasons[reason] = diff
+        return delta
+
+    def add(self, other: "BackendStats") -> None:
+        """Accumulate another stats object (e.g. a worker delta)."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for reason, count in sorted(other.fallback_reasons.items()):
+            if reason not in self.fallback_reasons and \
+                    len(self.fallback_reasons) >= self.MAX_REASONS:
+                reason = "other"
+            self.fallback_reasons[reason] = \
+                self.fallback_reasons.get(reason, 0) + count
+
+    @property
+    def total_runs(self) -> int:
+        return self.compiled_runs + self.interp_runs
+
     def summary(self) -> str:
         return (f"sim backend: {self.compiled_runs} compiled / "
                 f"{self.interp_runs} interpreted / "
@@ -103,18 +146,20 @@ class BackendStats:
                 f"{self.cache_hits} cache hit(s)")
 
 
-_STATS = BackendStats()
+_STATS_LOCAL = threading.local()
 
 
 def backend_stats() -> BackendStats:
-    """The live per-process backend counters."""
-    return _STATS
+    """The live backend counters of the *calling thread*."""
+    stats = getattr(_STATS_LOCAL, "stats", None)
+    if stats is None:
+        stats = _STATS_LOCAL.stats = BackendStats()
+    return stats
 
 
 def reset_backend_stats() -> None:
-    """Test hook: zero the backend counters."""
-    global _STATS
-    _STATS = BackendStats()
+    """Test hook: zero the calling thread's backend counters."""
+    _STATS_LOCAL.stats = BackendStats()
 
 
 # --------------------------------------------------------------------------
@@ -1709,7 +1754,7 @@ def compile_design(design: Design) -> CompiledDesign:
     init_store = [signal.value for signal in lower.signals]
     array_slots = tuple(i for i, signal in enumerate(lower.signals)
                         if signal.is_array)
-    _STATS.compiles += 1
+    backend_stats().compiles += 1
     return CompiledDesign(design=design, top=design.top,
                           names=lower.names, slots=lower.slots,
                           init_store=init_store,

@@ -287,3 +287,88 @@ class TestCliEvaluate:
         out = capsys.readouterr().out
         assert ">10" in out
         assert "cell(s)" in out
+
+
+class TestBackendStatsAggregation:
+    """Fix: `--jobs > 1` used to silently undercount simulator-backend
+    counters (they lived in pool workers); the engine now aggregates
+    each worker's per-task deltas back through its result stream."""
+
+    def _sweep(self, engine):
+        clear_cache()
+        return evaluate_generation(_models(), _problems(2),
+                                   levels=("low",), n_samples=2,
+                                   engine=engine)
+
+    def test_process_pool_stats_no_longer_undercount(self):
+        from repro.sim import backend_stats
+        engine = EvalEngine(jobs=3)
+        before = backend_stats().copy()
+        self._sweep(engine)
+        main_delta = backend_stats().delta_since(before)
+        # All simulation happened in forked workers: the calling
+        # thread's own counters see none of it...
+        assert main_delta.total_runs == 0
+        # ...but the engine's aggregate does.
+        assert engine.sim_stats.total_runs > 0
+        assert engine.sim_stats.compiles > 0
+
+    def test_aggregated_stats_deterministic_across_pools(self):
+        # Forked workers inherit no warm in-memory candidate cache
+        # (clear_cache runs pre-fork), so worker-side sim counts are a
+        # pure function of the task set — identical run to run.
+        first = EvalEngine(jobs=3)
+        self._sweep(first)
+        second = EvalEngine(jobs=3)
+        self._sweep(second)
+        assert first.sim_stats.total_runs > 0
+        for field in ("compiled_runs", "interp_runs", "fallbacks",
+                      "compiles"):
+            assert getattr(first.sim_stats, field) == \
+                getattr(second.sim_stats, field)
+
+    def test_thread_pool_and_serial_stats_are_counted(self):
+        serial = EvalEngine(jobs=1)
+        self._sweep(serial)
+        assert serial.sim_stats.total_runs > 0
+        threaded = EvalEngine(jobs=3, use_threads=True)
+        self._sweep(threaded)
+        assert threaded.sim_stats.total_runs > 0
+
+    def test_counters_are_thread_local(self):
+        import threading
+        from repro.sim import backend_stats
+        main = backend_stats()
+        seen = {}
+        def bump():
+            stats = backend_stats()
+            stats.compiled_runs += 7
+            seen["worker"] = stats.compiled_runs
+        before = main.compiled_runs
+        thread = threading.Thread(target=bump)
+        thread.start()
+        thread.join()
+        assert seen["worker"] == 7
+        assert main.compiled_runs == before
+
+    def test_stats_copy_delta_add_arithmetic(self):
+        from repro.sim import BackendStats
+        stats = BackendStats(compiled_runs=3, interp_runs=1,
+                             compiles=2)
+        stats.record_fallback("delay in function")
+        snap = stats.copy()
+        stats.compiled_runs += 2
+        stats.record_fallback("delay in function")
+        stats.record_fallback("other thing")
+        delta = stats.delta_since(snap)
+        assert delta.compiled_runs == 2
+        assert delta.interp_runs == 0
+        assert delta.fallbacks == 2
+        assert delta.fallback_reasons == {"delay in function": 1,
+                                          "other thing": 1}
+        total = BackendStats()
+        total.add(snap)
+        total.add(delta)
+        assert total.compiled_runs == stats.compiled_runs
+        assert total.fallbacks == stats.fallbacks
+        assert total.fallback_reasons == stats.fallback_reasons

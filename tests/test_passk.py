@@ -1,0 +1,168 @@
+"""Directed edge-case coverage for pass@k and ManifestCache degradation.
+
+Both were previously exercised only incidentally (through full report
+sweeps / engine runs); these tests pin the boundary behaviour down
+explicitly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eval.passk import format_pct, pass_at_k, success_rate
+from repro.scale.cache import ManifestCache
+
+
+class TestPassAtK:
+    def test_k_at_least_n_degenerates_to_any_pass(self):
+        # k >= n: the estimator is exactly "did any sample pass".
+        assert pass_at_k(5, 0, 5) == 0.0
+        assert pass_at_k(5, 1, 5) == 1.0
+        assert pass_at_k(5, 5, 5) == 1.0
+        assert pass_at_k(3, 2, 10) == 1.0      # k > n samples
+        assert pass_at_k(3, 0, 10) == 0.0
+
+    def test_zero_passes_and_all_passes(self):
+        for n in (1, 2, 7):
+            for k in range(1, n + 1):
+                assert pass_at_k(n, 0, k) == 0.0
+                assert pass_at_k(n, n, k) == 1.0
+
+    def test_no_samples(self):
+        assert pass_at_k(0, 0, 1) == 0.0
+        assert pass_at_k(0, 0, 5) == 0.0
+
+    def test_guaranteed_hit_when_failures_fit_under_k(self):
+        # n - c < k: every k-subset must contain a passing sample.
+        assert pass_at_k(10, 9, 2) == 1.0
+        assert pass_at_k(10, 8, 3) == 1.0
+
+    def test_unbiased_estimator_value(self):
+        # 1 - C(n-c, k)/C(n, k); e.g. n=4, c=1, k=2 → 1 - 3/6.
+        assert pass_at_k(4, 1, 2) == pytest.approx(0.5)
+        # n=10, c=2, k=3 → 1 - C(8,3)/C(10,3) = 1 - 56/120.
+        assert pass_at_k(10, 2, 3) == pytest.approx(1 - 56 / 120)
+
+    def test_monotonic_in_k_and_c(self):
+        for c in range(0, 7):
+            values = [pass_at_k(6, min(c, 6), k) for k in range(1, 7)]
+            assert values == sorted(values)
+        for k in (1, 3, 6):
+            values = [pass_at_k(6, c, k) for c in range(0, 7)]
+            assert values == sorted(values)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            pass_at_k(5, 6, 1)          # c > n
+        with pytest.raises(ValueError):
+            pass_at_k(-1, 0, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, -1, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 2, 0)          # k must be positive
+        with pytest.raises(ValueError):
+            pass_at_k(5, 2, -3)
+
+    def test_success_rate_and_formatting(self):
+        assert success_rate(0, 0) == 0.0
+        assert success_rate(3, -1) == 0.0
+        assert success_rate(3, 4) == pytest.approx(0.75)
+        assert format_pct(0.706) == "70.6%"
+        assert format_pct(1.0, 0) == "100%"
+
+
+class _JsonCache(ManifestCache):
+    """Minimal concrete ManifestCache for degradation tests."""
+
+    def _encode(self, payload) -> str:
+        return json.dumps(payload, sort_keys=True) + "\n"
+
+    def _decode(self, text: str):
+        blob = json.loads(text)
+        if not isinstance(blob, dict):
+            raise ValueError("expected an object payload")
+        return blob
+
+
+class TestManifestCacheDegradation:
+    def _warm(self, root) -> _JsonCache:
+        cache = _JsonCache(str(root), "fp-1")
+        cache.store("alpha", "key-a", {"value": 1})
+        cache.store("beta", "key-b", {"value": 2})
+        cache.flush()
+        return cache
+
+    def _entry_path(self, cache: _JsonCache, slot: str) -> str:
+        entry = cache._entries[slot]
+        return os.path.join(cache.root, entry["file"])
+
+    def test_corrupt_entry_degrades_to_miss_not_crash(self, tmp_path):
+        self._warm(tmp_path)
+        fresh = _JsonCache(str(tmp_path), "fp-1")
+        with open(self._entry_path(fresh, "alpha"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("{not json at all")
+        assert fresh.lookup("alpha", "key-a") is None
+        assert fresh.lookup("beta", "key-b") == {"value": 2}
+        assert (fresh.hits, fresh.misses) == (1, 1)
+        # Recomputing and re-storing the slot heals the cache.
+        fresh.store("alpha", "key-a", {"value": 1})
+        fresh.flush()
+        healed = _JsonCache(str(tmp_path), "fp-1")
+        assert healed.lookup("alpha", "key-a") == {"value": 1}
+
+    def test_wrong_shape_entry_degrades_to_miss(self, tmp_path):
+        self._warm(tmp_path)
+        fresh = _JsonCache(str(tmp_path), "fp-1")
+        with open(self._entry_path(fresh, "alpha"), "w",
+                  encoding="utf-8") as handle:
+            handle.write('[1, 2, 3]\n')       # valid JSON, wrong shape
+        assert fresh.lookup("alpha", "key-a") is None
+        assert fresh.misses == 1
+
+    def test_missing_entry_file_degrades_to_miss(self, tmp_path):
+        self._warm(tmp_path)
+        fresh = _JsonCache(str(tmp_path), "fp-1")
+        os.unlink(self._entry_path(fresh, "beta"))
+        assert fresh.lookup("beta", "key-b") is None
+        assert fresh.lookup("alpha", "key-a") == {"value": 1}
+
+    def test_corrupt_manifest_starts_clean(self, tmp_path):
+        self._warm(tmp_path)
+        with open(os.path.join(str(tmp_path), "manifest.json"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("{torn manife")
+        fresh = _JsonCache(str(tmp_path), "fp-1")
+        assert fresh.lookup("alpha", "key-a") is None
+        assert fresh.misses == 1
+
+    def test_fingerprint_change_discards_and_prunes(self, tmp_path):
+        cache = self._warm(tmp_path)
+        alpha_file = self._entry_path(cache, "alpha")
+        assert os.path.exists(alpha_file)
+        changed = _JsonCache(str(tmp_path), "fp-2")
+        assert changed.lookup("alpha", "key-a") is None
+        # Stale-config entry files are pruned, not left to pile up.
+        assert not os.path.exists(alpha_file)
+
+    def test_key_mismatch_is_a_miss_without_reading_file(self, tmp_path):
+        self._warm(tmp_path)
+        fresh = _JsonCache(str(tmp_path), "fp-1")
+        assert fresh.lookup("alpha", "other-key") is None
+        assert fresh.lookup("unknown-slot", "key") is None
+        assert fresh.misses == 2
+
+    def test_eval_cache_rejects_wrong_shape_cell_blob(self, tmp_path):
+        from repro.eval import EvalCache, engine_fingerprint
+        cache = EvalCache(str(tmp_path), engine_fingerprint())
+        cache.store("cell-x", "key-x", {"syntax_errors": 0,
+                                        "function_rate": 1.0})
+        cache.flush()
+        fresh = EvalCache(str(tmp_path), engine_fingerprint())
+        path = os.path.join(fresh.root,
+                            fresh._entries["cell-x"]["file"])
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"unrelated": true}\n')
+        assert fresh.lookup("cell-x", "key-x") is None
+        assert fresh.misses == 1

@@ -1,0 +1,195 @@
+"""Property tests for the service scheduler's queue discipline.
+
+Hypothesis drives random interleavings of submit / cancel / claim /
+complete against a reference model and asserts the three documented
+invariants: priority ordering, per-kind budget caps, and batch
+homogeneity (never mixing incompatible fingerprints — e.g. augment
+jobs whose ``PipelineConfig.fingerprint()`` values differ).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PipelineConfig
+from repro.serve import Batch, Job, Scheduler, compat_key, validate_spec
+
+_SETTINGS = dict(deadline=None, derandomize=True,
+                 suppress_health_check=(HealthCheck.too_slow,
+                                        HealthCheck.filter_too_much))
+
+KINDS = ("augment", "evaluate", "simulate", "experiment")
+
+
+def _job(seq: int, kind: str, priority: int, flavor: int) -> Job:
+    """A job whose compat key is synthesised from ``flavor``."""
+    return Job(id=f"job-{seq:06d}", seq=seq, kind=kind,
+               spec={"flavor": flavor}, priority=priority)
+
+
+def _flavor_compat(job: Job) -> str:
+    return f"{job.kind}:{job.spec['flavor']}"
+
+
+#: One scripted operation: submit(kind, priority, flavor), claim a
+#: batch, complete the oldest in-flight batch, or cancel a queued job.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.sampled_from(KINDS),
+                  st.integers(min_value=-2, max_value=2),
+                  st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("claim"), st.just(None), st.just(0),
+                  st.just(0)),
+        st.tuples(st.just("complete"), st.just(None), st.just(0),
+                  st.just(0)),
+        st.tuples(st.just("cancel"), st.just(None), st.just(0),
+                  st.integers(min_value=0, max_value=40)),
+    ),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=200, **_SETTINGS)
+@given(ops=ops,
+       budgets=st.fixed_dictionaries(
+           {kind: st.integers(min_value=1, max_value=2)
+            for kind in KINDS}),
+       batch_limit=st.integers(min_value=1, max_value=4))
+def test_scheduler_invariants(ops, budgets, batch_limit):
+    scheduler = Scheduler(budgets=budgets, batch_limit=batch_limit,
+                          compat_fn=_flavor_compat)
+    queued: dict[str, Job] = {}      # reference model
+    in_flight: list[Batch] = []
+    seq = 0
+    for op, kind, priority, flavor in ops:
+        if op == "submit":
+            seq += 1
+            job = _job(seq, kind, priority, flavor)
+            scheduler.submit(job)
+            queued[job.id] = job
+        elif op == "cancel":
+            ids = sorted(queued)
+            target = ids[flavor % len(ids)] if ids else "job-none"
+            assert scheduler.cancel(target) == (target in queued)
+            queued.pop(target, None)
+        elif op == "complete":
+            if in_flight:
+                batch = in_flight.pop(0)
+                scheduler.finish(batch)
+        else:   # claim
+            counts = {}
+            for batch in in_flight:
+                counts[batch.kind] = counts.get(batch.kind, 0) + 1
+            eligible = [job for job in queued.values()
+                        if counts.get(job.kind, 0)
+                        < budgets[job.kind]]
+            batch = scheduler.next_batch()
+            if not eligible:
+                assert batch is None
+                continue
+            assert batch is not None
+            # Priority invariant: the leader is the best-ranked
+            # eligible job (highest priority, FIFO within a priority).
+            best = min(eligible, key=lambda job: job.sort_key)
+            leader = batch.jobs[0]
+            assert leader.sort_key == best.sort_key
+            # Homogeneity: one kind, one compat key, ranked order,
+            # within the batch limit.
+            assert len(batch.jobs) <= batch_limit
+            assert {job.kind for job in batch.jobs} == {batch.kind}
+            assert {_flavor_compat(job) for job in batch.jobs} \
+                == {batch.compat}
+            keys = [job.sort_key for job in batch.jobs]
+            assert keys == sorted(keys)
+            # The batch took *every* compatible queued job up to the
+            # limit (no compatible job left behind while space remains).
+            compatible = [job for job in queued.values()
+                          if _flavor_compat(job) == batch.compat]
+            assert len(batch.jobs) == min(len(compatible), batch_limit)
+            for job in batch.jobs:
+                del queued[job.id]
+            in_flight.append(batch)
+            # Budget invariant: claiming never exceeds any kind's cap.
+            counts[batch.kind] = counts.get(batch.kind, 0) + 1
+            for batch_kind, count in counts.items():
+                assert count <= budgets[batch_kind]
+    # Drain: with budgets freed, everything left eventually schedules,
+    # exactly once, in priority order.
+    for batch in in_flight:
+        scheduler.finish(batch)
+    seen: list[Job] = []
+    while True:
+        batch = scheduler.next_batch()
+        if batch is None:
+            break
+        seen.extend(batch.jobs)
+        scheduler.finish(batch)
+    assert sorted(job.id for job in seen) == sorted(queued)
+    assert len(scheduler) == 0
+
+
+@settings(max_examples=50, **_SETTINGS)
+@given(st.data())
+def test_batches_never_mix_pipeline_fingerprints(data):
+    """Real augment specs: different PipelineConfig fingerprints never
+    share a batch; identical ones do."""
+    scheduler = Scheduler(batch_limit=16)
+    jobs = []
+    for seq in range(1, data.draw(st.integers(2, 10)) + 1):
+        seed = data.draw(st.integers(0, 2), label=f"seed-{seq}")
+        completion_only = data.draw(st.booleans(),
+                                    label=f"completion-{seq}")
+        spec = validate_spec("augment",
+                             {"paths": [f"/corpus/{seq}.v"],
+                              "seed": seed,
+                              "completion_only": completion_only})
+        job = Job(id=f"job-{seq:06d}", seq=seq, kind="augment",
+                  spec=spec)
+        scheduler.submit(job)
+        jobs.append(job)
+    expected = {}
+    for job in jobs:
+        config = PipelineConfig.completion_only() \
+            if job.spec["completion_only"] \
+            else PipelineConfig(seed=job.spec["seed"])
+        expected.setdefault(config.fingerprint(), set()).add(job.id)
+        assert compat_key(job).endswith(config.fingerprint())
+    # Augment budget is 1: claim+finish until drained; every batch must
+    # be exactly one fingerprint group (limit 16 > group sizes).
+    groups = []
+    while True:
+        batch = scheduler.next_batch()
+        if batch is None:
+            break
+        groups.append(set(batch.ids))
+        scheduler.finish(batch)
+    assert sorted(map(sorted, groups)) == \
+        sorted(map(sorted, expected.values()))
+
+
+def test_budget_defaults_and_unknown_kinds():
+    scheduler = Scheduler()
+    assert scheduler.budget_for("simulate") == 2
+    assert scheduler.budget_for("never-heard-of-it") == 1
+
+
+def test_cancel_running_job_is_refused():
+    scheduler = Scheduler(compat_fn=_flavor_compat)
+    job = _job(1, "simulate", 0, 0)
+    scheduler.submit(job)
+    batch = scheduler.next_batch()
+    assert batch.ids == [job.id]
+    assert scheduler.cancel(job.id) is False     # already claimed
+    scheduler.finish(batch)
+
+
+def test_zero_budget_pauses_a_kind():
+    scheduler = Scheduler(budgets={"simulate": 0},
+                          compat_fn=_flavor_compat)
+    scheduler.submit(_job(1, "simulate", 5, 0))
+    scheduler.submit(_job(2, "augment", 0, 0))
+    batch = scheduler.next_batch()
+    assert batch is not None and batch.kind == "augment"
+    scheduler.finish(batch)
+    assert scheduler.next_batch() is None     # simulate stays paused
+    scheduler.budgets["simulate"] = 1
+    assert scheduler.next_batch().kind == "simulate"
