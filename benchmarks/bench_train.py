@@ -1,0 +1,107 @@
+"""Benchmark: training throughput, checkpoint overhead, resume latency.
+
+Measures sequences/sec through the trainer at ``jobs=1`` vs ``jobs=N``
+(threads and processes — the contract is identical output, so the
+numbers are purely operational), the wall-clock cost per checkpoint
+write, and how quickly a finished run's checkpoint store resumes, then
+writes ``BENCH_train.json`` at the repo root so the training-layer
+trajectory is tracked from PR to PR.
+"""
+
+import json
+import os
+import time
+
+from repro.core.records import Dataset, Task, make_record
+from repro.train import TrainConfig, train_run
+
+N_RECORDS = 96
+RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_train.json")
+
+
+def _dataset() -> Dataset:
+    records = []
+    for index in range(N_RECORDS):
+        records.append(make_record(
+            Task.NL_VERILOG,
+            f"a module named unit{index} with {index % 7} inputs and "
+            f"a registered output updated on the positive clock edge",
+            f"module unit{index}(input clk, input [{index % 7}:0] d, "
+            f"output reg q);\n  always @(posedge clk) q <= ^d;\n"
+            f"endmodule"))
+    return Dataset(records=records)
+
+
+def _config(**overrides) -> TrainConfig:
+    base = dict(epochs=1, batch_size=8, micro_batch=2, seq_len=48,
+                vocab_size=256, d_model=32, n_heads=2, n_layers=1,
+                d_ff=64, max_records=None, checkpoint_every=0)
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+def _timed_run(dataset, config, **kwargs):
+    start = time.perf_counter()
+    report = train_run(dataset, config, **kwargs)
+    return report, time.perf_counter() - start
+
+
+def bench_throughput(dataset) -> dict:
+    result = {}
+    reference = None
+    for label, kwargs in (("jobs1", {"jobs": 1}),
+                          ("jobs4_threads", {"jobs": 4,
+                                             "use_threads": True}),
+                          ("jobs4_procs", {"jobs": 4})):
+        report, wall = _timed_run(dataset, _config(), **kwargs)
+        if reference is None:
+            reference = report.weights_sha256
+        assert report.weights_sha256 == reference   # contract holds
+        sequences = report.records * report.epochs
+        result[f"seq_per_sec_{label}"] = round(sequences / wall, 1)
+        result[f"wall_s_{label}"] = round(wall, 4)
+    result["steps"] = report.steps
+    return result
+
+
+def bench_checkpoint_overhead(dataset, root: str) -> dict:
+    _, plain = _timed_run(dataset, _config())
+    report, checked = _timed_run(
+        dataset, _config(checkpoint_every=1),
+        checkpoint_dir=os.path.join(root, "every-step"))
+    writes = report.checkpoints_written
+    return {"checkpoint_writes": writes,
+            "checkpoint_overhead_ms": round(
+                max(checked - plain, 0.0) / max(writes, 1) * 1000, 3)}
+
+
+def bench_cold_resume(dataset, root: str) -> dict:
+    ckpt = os.path.join(root, "resume")
+    first, _ = _timed_run(dataset, _config(checkpoint_every=4),
+                          checkpoint_dir=ckpt)
+    resumed, wall = _timed_run(dataset, _config(checkpoint_every=4),
+                               checkpoint_dir=ckpt)
+    assert resumed.resumed_steps == first.steps
+    assert resumed.weights_sha256 == first.weights_sha256
+    return {"cold_resume_s": round(wall, 4)}
+
+
+def run_train_bench(root: str) -> dict:
+    dataset = _dataset()
+    result = {"records": len(dataset)}
+    result.update(bench_throughput(dataset))
+    result.update(bench_checkpoint_overhead(dataset, root))
+    result.update(bench_cold_resume(dataset, root))
+    return result
+
+
+def test_train_throughput_and_resume(once, benchmark, tmp_path):
+    result = once(run_train_bench, str(tmp_path))
+    benchmark.extra_info.update(result)
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\n" + json.dumps(result, indent=2, sort_keys=True))
+    assert result["seq_per_sec_jobs1"] > 0
+    assert result["cold_resume_s"] > 0

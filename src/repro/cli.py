@@ -11,9 +11,13 @@ Commands mirror the tool chain a user drives interactively:
 * ``augment-dist`` — sharded/parallel/cache-aware augmentation
   over files or directories (``--jobs``, ``--cache-dir``)
 * ``agent``     — run the Fig-1 agent loop on a named benchmark problem
+* ``train``     — checkpointed finetuning over a corpus
+  (``repro.train``): loads through the shard cache, resumes from
+  ``--checkpoint-dir``, writes a trained-model artefact (``--out``)
 * ``evaluate``  — run one benchmark suite on the shared evaluation
   engine (``--suite``, ``--models``, ``--jobs``, ``--cache-dir``,
-  ``--k``, ``--sim-backend compiled|interp``)
+  ``--k``, ``--sim-backend compiled|interp``, ``--artifact`` to score
+  a trained model)
 * ``tables``    — regenerate the paper's tables/figures (``--only``
   computes just the requested ones; ``--jobs``/``--cache-dir`` reach
   Tables 3–5 through the engine)
@@ -22,6 +26,9 @@ Commands mirror the tool chain a user drives interactively:
   resumable jobs behind a JSON HTTP API
 * ``submit`` / ``status`` / ``result`` / ``cancel`` — client commands
   talking to a running daemon (``--url``)
+* ``pipeline``  — submit augment → train → evaluate to the daemon as
+  one dependency DAG; the evaluate stage scores the freshly trained
+  model
 """
 
 from __future__ import annotations
@@ -153,6 +160,131 @@ def cmd_agent(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+#: Train knobs shared by `train`, `submit train` and `pipeline`
+#: (None = not given; the spec normaliser / TrainConfig defaults fill
+#: the gaps).
+_TRAIN_KNOBS = ("epochs", "batch_size", "micro_batch", "seq_len", "lr",
+                "train_seed", "vocab_size", "d_model", "n_heads",
+                "n_layers", "d_ff", "max_records", "checkpoint_every")
+
+
+def _train_knobs(args: argparse.Namespace) -> dict:
+    """The train knobs the user actually set (``--max-records 0`` means
+    unlimited)."""
+    knobs = {name: getattr(args, name) for name in _TRAIN_KNOBS
+             if getattr(args, name) is not None}
+    if knobs.get("max_records") == 0:
+        knobs["max_records"] = None
+    return knobs
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from .scale.store import DEFAULT_NUM_SHARDS
+    from .train import (TrainConfig, build_artifact, corpus_dataset,
+                        train_run)
+    config = _augment_config(args)
+    dataset, scale_report = corpus_dataset(
+        list(args.paths), config=config, cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        num_shards=(args.shards if args.shards is not None
+                    else DEFAULT_NUM_SHARDS))
+    knobs = _train_knobs(args)
+    seed = knobs.pop("train_seed", None)
+    train_config = TrainConfig(**knobs)
+    if seed is not None:
+        train_config.seed = seed
+    report = train_run(dataset, train_config, jobs=args.jobs,
+                       checkpoint_dir=args.checkpoint_dir)
+    print(f"-- corpus: {scale_report.summary()}")
+    print(f"-- train: {report.summary()}")
+    if args.out:
+        artifact = build_artifact(args.register_as, report, dataset)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote artefact to {args.out}")
+    if args.report_out:
+        blob = {"steps": report.steps, "records": report.records,
+                "losses": report.losses,
+                "val_losses": report.val_losses,
+                "final_loss": report.final_loss,
+                "weights_sha256": report.weights_sha256,
+                "dataset_digest": report.dataset_digest,
+                "trained_tokens": report.trained_tokens}
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote report to {args.report_out}")
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """Submit augment → train → evaluate as one DAG and (optionally)
+    wait for the evaluation of the freshly trained model."""
+    from .serve import ServeError
+    client = _client(args)
+    paths = [os.path.abspath(p) for p in args.paths]
+    corpus_spec = {"paths": paths, "seed": args.seed,
+                   "completion_only": args.completion_only}
+    train_spec = dict(corpus_spec)
+    train_spec.update(_train_knobs(args))
+    train_spec["register_as"] = args.register_as
+    models = (args.models.split(",") if args.models
+              else [args.register_as])
+    if args.register_as not in models:
+        # The pipeline exists to score the freshly trained model; an
+        # explicit baseline list gets it appended, never dropped.
+        models = models + [args.register_as]
+    try:
+        augment = client.submit("augment", corpus_spec,
+                                priority=args.priority)
+        train = client.submit("train", train_spec,
+                              priority=args.priority,
+                              after=[augment["id"]])
+        evaluate = client.submit(
+            "evaluate",
+            {"suite": args.suite, "models": models,
+             "samples": args.samples, "k": args.k,
+             "levels": args.levels.split(",") if args.levels else None,
+             "seed": 0, "sim_backend": args.sim_backend,
+             "trained": {"name": args.register_as,
+                         "job": train["id"]}},
+            priority=args.priority, after=[train["id"]])
+    except ServeError as exc:
+        print(f"pipeline submit failed: {exc}", file=sys.stderr)
+        return 1
+    stages = [("augment", augment), ("train", train),
+              ("evaluate", evaluate)]
+    for stage, job in stages:
+        print(f"-- submitted {job['id']} ({stage})")
+    if args.no_wait:
+        return 0
+    try:
+        jobs = client.wait([job["id"] for _, job in stages],
+                           timeout=args.timeout)
+    except TimeoutError as exc:
+        print(f"pipeline timed out: {exc}", file=sys.stderr)
+        return 1
+    failed = [job for job in jobs.values() if job["state"] != "done"]
+    for job in failed:
+        print(f"-- {job['id']} {job['state']}: "
+              f"{job.get('error') or ''}", file=sys.stderr)
+    if failed:
+        return 1
+    train_blob = client.result(train["id"])
+    print(f"-- trained '{train_blob['register_as']}': "
+          f"{train_blob['steps']} step(s), final loss "
+          f"{train_blob['final_loss']:.4f}, weights "
+          f"{train_blob['weights_sha256'][:12]}")
+    eval_blob = client.result(evaluate["id"])
+    print(eval_blob["rendered"])
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(eval_blob["rendered"] + "\n")
+        print(f"-- wrote report to {args.out}")
+    return 0
+
+
 def _eval_engine(args: argparse.Namespace):
     import os
 
@@ -187,12 +319,16 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from .eval import run_suite
     engine = _eval_engine(args)
+    artifacts = None
+    if args.artifact:
+        artifacts = [json.loads(_read(path)) for path in args.artifact]
     result = run_suite(
         args.suite,
         models=args.models.split(",") if args.models else None,
         samples=args.samples, k=args.k,
         levels=tuple(args.levels.split(",")) if args.levels else None,
-        seed=args.seed, engine=engine, sim_backend=args.sim_backend)
+        seed=args.seed, engine=engine, sim_backend=args.sim_backend,
+        artifacts=artifacts)
     print(result.rendered)
     print(f"-- {engine.stats.summary()}")
     # The engine aggregates each worker's thread-local counters back
@@ -254,6 +390,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         spec = {"paths": [os.path.abspath(p) for p in args.paths],
                 "seed": args.seed,
                 "completion_only": args.completion_only}
+    elif args.job_kind == "train":
+        spec = {"paths": [os.path.abspath(p) for p in args.paths],
+                "seed": args.seed,
+                "completion_only": args.completion_only,
+                "register_as": args.register_as}
+        spec.update(_train_knobs(args))
     elif args.job_kind == "evaluate":
         spec = {"suite": args.suite,
                 "models": args.models.split(",") if args.models
@@ -401,6 +543,57 @@ def build_parser() -> argparse.ArgumentParser:
     add_augment_options(p)
     p.set_defaults(fn=cmd_augment_dist)
 
+    def add_train_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--epochs", type=int, default=None)
+        p.add_argument("--batch-size", type=int, default=None)
+        p.add_argument("--micro-batch", type=int, default=None,
+                       help="gradient-accumulation micro-batch size")
+        p.add_argument("--seq-len", type=int, default=None)
+        p.add_argument("--lr", type=float, default=None)
+        p.add_argument("--train-seed", type=int, default=None,
+                       help="training seed (schedule + init); distinct "
+                            "from the augmentation --seed")
+        p.add_argument("--vocab-size", type=int, default=None)
+        p.add_argument("--d-model", type=int, default=None)
+        p.add_argument("--n-heads", type=int, default=None)
+        p.add_argument("--n-layers", type=int, default=None)
+        p.add_argument("--d-ff", type=int, default=None)
+        p.add_argument("--max-records", type=int, default=None,
+                       help="canonical-order dataset cap (0 = no cap)")
+        p.add_argument("--checkpoint-every", type=int, default=None,
+                       help="checkpoint cadence in optimizer steps "
+                            "(0 = final checkpoint only)")
+        p.add_argument("--register-as", default="trained",
+                       help="name the trained model evaluates under")
+
+    p = sub.add_parser("train",
+                       help="checkpointed finetuning over a corpus "
+                            "(resumable via --checkpoint-dir)")
+    p.add_argument("paths", nargs="+",
+                   help="Verilog files and/or directories to train on")
+    p.add_argument("--seed", type=int, default=0,
+                   help="augmentation seed for the corpus")
+    p.add_argument("--completion-only", action="store_true",
+                   help="train on the ablation (general aug) dataset")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for augmentation shards and "
+                        "gradient micro-batches (output is identical "
+                        "for any setting)")
+    p.add_argument("--cache-dir",
+                   help="augment shard cache; a warm cache means the "
+                        "corpus loads with zero re-augmentation")
+    p.add_argument("--shards", type=int, default=None)
+    p.add_argument("--checkpoint-dir",
+                   help="checkpoint store; an interrupted run resumes "
+                        "here to bit-identical weights")
+    p.add_argument("--out", help="write the trained-model artefact "
+                                 "(JSON) to this path")
+    p.add_argument("--report-out",
+                   help="write the run report (loss curve, weights "
+                        "digest) as JSON")
+    add_train_options(p)
+    p.set_defaults(fn=cmd_train)
+
     p = sub.add_parser("agent", help="Fig-1 agent loop on a benchmark")
     p.add_argument("problem")
     p.add_argument("--model", default="ours-13b")
@@ -452,6 +645,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "to the interpreter; reports are byte-identical "
                         "either way)")
     p.add_argument("--out", help="also write the report to this file")
+    p.add_argument("--artifact", action="append",
+                   help="trained-model artefact JSON (from `repro "
+                        "train --out`) to register and score "
+                        "(repeatable); include its name in --models "
+                        "or omit --models to append it")
     add_engine_options(p)
     p.set_defaults(fn=cmd_evaluate)
 
@@ -496,6 +694,13 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--seed", type=int, default=0)
     k.add_argument("--completion-only", action="store_true")
 
+    k = kinds.add_parser("train", help="finetuning job")
+    k.add_argument("paths", nargs="+",
+                   help="Verilog files/directories (daemon-local paths)")
+    k.add_argument("--seed", type=int, default=0)
+    k.add_argument("--completion-only", action="store_true")
+    add_train_options(k)
+
     k = kinds.add_parser("evaluate", help="benchmark-suite job")
     k.add_argument("--suite", choices=EVAL_SUITES, default="generation")
     k.add_argument("--models")
@@ -538,6 +743,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job")
     add_client_options(p)
     p.set_defaults(fn=cmd_cancel)
+
+    p = sub.add_parser("pipeline",
+                       help="submit augment → train → evaluate as one "
+                            "dependency DAG; the evaluate stage scores "
+                            "the freshly trained model")
+    p.add_argument("paths", nargs="+",
+                   help="Verilog files/directories (daemon-local paths)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="augmentation seed for the corpus stages")
+    p.add_argument("--completion-only", action="store_true")
+    add_train_options(p)
+    p.add_argument("--suite", choices=EVAL_SUITES, default="thakur",
+                   help="benchmark suite for the evaluate stage")
+    p.add_argument("--models",
+                   help="comma-separated models to score (default: "
+                        "just the trained model; add baselines for a "
+                        "side-by-side)")
+    p.add_argument("--samples", type=int, default=None)
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--levels")
+    p.add_argument("--sim-backend", choices=("compiled", "interp"),
+                   default=None)
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="submit the DAG and return without polling")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for the DAG to finish")
+    p.add_argument("--out", help="also write the evaluation report to "
+                                 "this file")
+    add_client_options(p)
+    p.set_defaults(fn=cmd_pipeline)
     return parser
 
 

@@ -124,9 +124,25 @@ def render_suite(suite: str, report,
 def run_suite(suite: str, models: list[str] | None = None,
               samples: int | None = None, k: int = 5,
               levels: tuple[str, ...] | None = None, seed: int = 0,
-              engine=None, sim_backend: str | None = None) -> SuiteResult:
-    """Evaluate one suite end-to-end and render its table."""
+              engine=None, sim_backend: str | None = None,
+              artifacts: list[dict] | None = None) -> SuiteResult:
+    """Evaluate one suite end-to-end and render its table.
+
+    ``artifacts`` are training artefacts
+    (:func:`repro.train.artifact.build_artifact` blobs) registered
+    before model resolution, so freshly finetuned models appear in
+    ``models`` — and the rendered table — like any built-in.  With no
+    explicit ``models`` the artefact names are appended to the suite's
+    paper column order.
+    """
+    registered = []
+    if artifacts:
+        from ..llm import register_artifact
+        registered = [register_artifact(artifact).name
+                      for artifact in artifacts]
     names = suite_models(suite, models)
+    if models is None:
+        names += [name for name in registered if name not in names]
     report = suite_report(suite, names, samples=samples, levels=levels,
                           seed=seed, engine=engine,
                           sim_backend=sim_backend)

@@ -50,11 +50,23 @@ class Table5Result:
 
 def run_table5(n_samples: int = 5, quick: bool = False,
                models: list[str] | None = None,
-               engine=None) -> Table5Result:
+               engine=None, artifact: dict | None = None) -> Table5Result:
+    """Regenerate Table 5; ``artifact`` adds a freshly trained model.
+
+    The artefact (a :func:`repro.train.artifact.build_artifact` blob)
+    is registered with the model registry and scored as an extra
+    column, so a pipeline run renders its finetuned model next to the
+    paper's six.
+    """
     levels = PROMPT_LEVELS if not quick else ("middle",)
     if quick:
         n_samples = 3
     model_names = models or list(TABLE5_MODEL_ORDER)
+    if artifact is not None:
+        from ..llm import register_artifact
+        name = register_artifact(artifact).name
+        if name not in model_names:
+            model_names = model_names + [name]
     problems = list(thakur_suite()) + list(rtllm_table5_subset())
     report = evaluate_generation(
         [get_model(name) for name in model_names], problems,

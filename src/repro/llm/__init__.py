@@ -22,7 +22,9 @@ from .progressive import (STAGE1_TASKS, STAGE2_TASKS,
                           train_progressive)
 from .registry import (TABLE3_MODEL_ORDER, TABLE4_MODEL_ORDER,
                        TABLE5_MODEL_ORDER, available_models, get_model,
-                       get_profile)
+                       get_profile, profile_from_dict, register_artifact,
+                       register_profile, registered_models,
+                       unregister_profile)
 from .tiny_transformer import (Adam, TinyTransformerLM, TransformerConfig)
 from .tokenizer import Tokenizer, pretokenize
 from .trainer import (TrainResult, TransformerTrainConfig, record_to_text,
@@ -44,5 +46,7 @@ __all__ = [
     "LEVEL_BONUS", "corrupt_functionally", "corrupt_syntax",
     "derived_solve_rate",
     "get_model", "get_profile", "available_models",
+    "register_profile", "register_artifact", "unregister_profile",
+    "registered_models", "profile_from_dict",
     "TABLE5_MODEL_ORDER", "TABLE3_MODEL_ORDER", "TABLE4_MODEL_ORDER",
 ]

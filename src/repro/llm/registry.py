@@ -1,8 +1,22 @@
-"""Model registry: one place to look up behavioural models by name."""
+"""Model registry: one place to look up behavioural models by name.
+
+Two layers back the lookup:
+
+* the built-in :data:`~repro.llm.behavioral.PROFILES` calibrated
+  against the paper's tables, and
+* a process-local *runtime* registry of trained profiles — what the
+  training service (:mod:`repro.train`) registers so a freshly
+  finetuned artefact can be scored by the same evaluation engine and
+  renderers as the built-ins.
+
+Built-in names are authoritative: registering over one is refused, so
+a pipeline can never silently shadow a calibrated baseline.
+"""
 
 from __future__ import annotations
 
-from .behavioral import PROFILES, BehavioralModel, ModelProfile
+from .behavioral import (PROFILES, BehavioralModel, ModelProfile,
+                         ScriptSkill)
 
 #: Column order used by the Table-5 / Table-3 / Table-4 renderers.
 TABLE5_MODEL_ORDER = ("gpt-3.5", "ours-7b", "ours-13b", "thakur",
@@ -11,17 +25,72 @@ TABLE3_MODEL_ORDER = ("ours-13b", "ours-7b", "gpt-3.5", "llama2-13b")
 TABLE4_MODEL_ORDER = ("gpt-3.5", "thakur", "ours-7b", "llama2-13b",
                       "ours-13b")
 
+#: Runtime-registered (trained) profiles; see :func:`register_profile`.
+_RUNTIME_PROFILES: dict[str, ModelProfile] = {}
+
 
 def available_models() -> tuple[str, ...]:
-    return tuple(sorted(PROFILES))
+    return tuple(sorted(set(PROFILES) | set(_RUNTIME_PROFILES)))
+
+
+def registered_models() -> tuple[str, ...]:
+    """Names added at runtime (trained artefacts), sorted."""
+    return tuple(sorted(_RUNTIME_PROFILES))
+
+
+def register_profile(profile: ModelProfile) -> ModelProfile:
+    """Make ``profile`` resolvable by name for this process.
+
+    Re-registering a runtime name replaces it (an updated artefact for
+    the same pipeline slot); built-in names are refused.
+    """
+    if profile.name in PROFILES:
+        raise ValueError(f"'{profile.name}' is a built-in model and "
+                         f"cannot be replaced")
+    _RUNTIME_PROFILES[profile.name] = profile
+    return profile
+
+
+def unregister_profile(name: str) -> None:
+    """Drop a runtime registration (test isolation hook)."""
+    _RUNTIME_PROFILES.pop(name, None)
+
+
+def profile_from_dict(blob: dict) -> ModelProfile:
+    """Rebuild a profile from its ``dataclasses.asdict`` form."""
+    return ModelProfile(
+        name=blob["name"], display=blob["display"],
+        params_b=blob["params_b"],
+        solve_rate=dict(blob["solve_rate"]),
+        solved_syntax_noise=blob["solved_syntax_noise"],
+        failed_syntax_rate=blob["failed_syntax_rate"],
+        repair_rate=blob["repair_rate"],
+        script_skill={task: ScriptSkill(**skill)
+                      for task, skill in blob["script_skill"].items()})
+
+
+def register_artifact(artifact: dict) -> ModelProfile:
+    """Register the model a training artefact describes.
+
+    ``artifact`` is the blob built by
+    :func:`repro.train.artifact.build_artifact` (a ``profile`` field in
+    ``asdict`` form, under the artefact's ``name``).
+    """
+    if not isinstance(artifact, dict) or "profile" not in artifact:
+        raise ValueError("not a training artefact (no 'profile' field)")
+    profile = profile_from_dict(artifact["profile"])
+    if profile.name != artifact.get("name"):
+        raise ValueError(f"artefact name '{artifact.get('name')}' does "
+                         f"not match its profile '{profile.name}'")
+    return register_profile(profile)
 
 
 def get_profile(name: str) -> ModelProfile:
-    try:
-        return PROFILES[name]
-    except KeyError:
+    profile = PROFILES.get(name) or _RUNTIME_PROFILES.get(name)
+    if profile is None:
         raise KeyError(f"unknown model '{name}'; available: "
-                       f"{', '.join(available_models())}") from None
+                       f"{', '.join(available_models())}")
+    return profile
 
 
 def get_model(name: str, seed: int = 0) -> BehavioralModel:

@@ -43,6 +43,35 @@ class WorkPool:
     def __init__(self, jobs: int = 1, use_threads: bool = False):
         self.jobs = max(1, jobs)
         self.use_threads = use_threads
+        self._persistent = False
+        self._executor: concurrent.futures.Executor | None = None
+
+    def _pool_cls(self):
+        return (concurrent.futures.ThreadPoolExecutor if self.use_threads
+                else concurrent.futures.ProcessPoolExecutor)
+
+    def open(self) -> "WorkPool":
+        """Switch to a persistent executor reused across :meth:`map`
+        calls (until :meth:`close`); created lazily on first use.
+
+        Worth it for workloads that map many small rounds — e.g. the
+        trainer's one-``map``-per-optimizer-step — where per-call pool
+        spawn would dominate; one-shot sweeps don't need it.
+        """
+        self._persistent = True
+        return self
+
+    def close(self) -> None:
+        self._persistent = False
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkPool":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def map(self, fn: Callable[[W], R], items: dict[K, W],
             on_done: Callable[[K, R], None] | None = None) -> dict[K, R]:
@@ -59,16 +88,26 @@ class WorkPool:
                 if on_done is not None:
                     on_done(key, results[key])
             return results
-        pool_cls = (concurrent.futures.ThreadPoolExecutor if self.use_threads
-                    else concurrent.futures.ProcessPoolExecutor)
-        with pool_cls(max_workers=min(self.jobs, len(items))) as pool:
-            futures = {pool.submit(fn, item): key
-                       for key, item in items.items()}
-            for future in concurrent.futures.as_completed(futures):
-                key = futures[future]
-                results[key] = future.result()
-                if on_done is not None:
-                    on_done(key, results[key])
+        if self._persistent:
+            if self._executor is None:
+                self._executor = self._pool_cls()(max_workers=self.jobs)
+            return self._drain(self._executor, fn, items, on_done)
+        with self._pool_cls()(max_workers=min(self.jobs,
+                                              len(items))) as pool:
+            return self._drain(pool, fn, items, on_done)
+
+    @staticmethod
+    def _drain(pool: concurrent.futures.Executor,
+               fn: Callable[[W], R], items: dict[K, W],
+               on_done: Callable[[K, R], None] | None) -> dict[K, R]:
+        results: dict[K, R] = {}
+        futures = {pool.submit(fn, item): key
+                   for key, item in items.items()}
+        for future in concurrent.futures.as_completed(futures):
+            key = futures[future]
+            results[key] = future.result()
+            if on_done is not None:
+                on_done(key, results[key])
         return results
 
 

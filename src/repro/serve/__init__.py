@@ -1,10 +1,13 @@
-"""Crash-safe job service over augment / evaluate / simulate.
+"""Crash-safe job service over augment / train / evaluate / simulate.
 
 The service front-end the ROADMAP's production north star needs: the
-batch subsystems (``repro.scale``, ``repro.eval``, ``repro.sim``)
-become first-class *jobs* behind a long-lived daemon —
+batch subsystems (``repro.scale``, ``repro.train``, ``repro.eval``,
+``repro.sim``) become first-class *jobs* behind a long-lived daemon,
+chainable into dependency DAGs (``after``) — ``repro pipeline`` runs
+augment → train → evaluate as one, with the evaluate stage scoring the
+freshly trained model —
 
-* :mod:`jobs`      — job model + spec validation
+* :mod:`jobs`      — job model + spec validation + dependency edges
 * :mod:`store`     — :class:`JobStore`: append-only JSONL journal +
   atomic snapshot; every transition journaled, kill-and-resume safe
 * :mod:`scheduler` — priority/FIFO queues, per-kind budgets,

@@ -56,9 +56,13 @@ class ServeClient:
 
     # -- endpoints --------------------------------------------------------
 
-    def submit(self, kind: str, spec: dict, priority: int = 0) -> dict:
-        return self._request("/api/submit", {"kind": kind, "spec": spec,
-                                             "priority": priority})
+    def submit(self, kind: str, spec: dict, priority: int = 0,
+               after: list[str] | None = None) -> dict:
+        """Submit one job; ``after`` lists dependency job ids."""
+        body = {"kind": kind, "spec": spec, "priority": priority}
+        if after:
+            body["after"] = list(after)
+        return self._request("/api/submit", body)
 
     def status(self, job_id: str) -> dict:
         return self._request(f"/api/job/{job_id}")

@@ -11,7 +11,7 @@ requeued by the store; see ``repro.serve.store``).
 
 API surface (all JSON)::
 
-    POST /api/submit            {kind, spec, priority?} → job
+    POST /api/submit            {kind, spec, priority?, after?} → job
     GET  /api/jobs              [job, ...]
     GET  /api/job/<id>          job
     GET  /api/result/<id>       result blob (409 until done)
@@ -62,7 +62,8 @@ class Daemon:
                 root=os.path.join(self.work_dir, "sim-designs"))
         self.store = JobStore(store_dir)
         self.scheduler = Scheduler(budgets=budgets,
-                                   batch_limit=batch_limit)
+                                   batch_limit=batch_limit,
+                                   state_fn=self._job_state)
         self.sim_stats = BackendStats()
         self._cond = threading.Condition()
         self._stop = False
@@ -103,12 +104,23 @@ class Daemon:
                 and not sum(self.scheduler.in_flight.values()),
                 timeout=timeout)
 
+    def _job_state(self, job_id: str) -> str | None:
+        """Dependency state lookup the scheduler gates dispatch on."""
+        job = self.store.jobs.get(job_id)
+        return job.state if job is not None else None
+
     # -- operations (thread-safe) -----------------------------------------
 
-    def submit(self, kind: str, spec: dict, priority: int = 0):
+    def submit(self, kind: str, spec: dict, priority: int = 0,
+               after: list[str] | None = None):
         spec = validate_spec(kind, spec)
+        after = list(after or ())
         with self._cond:
-            job = self.store.submit(kind, spec, priority=priority)
+            for dep in after:
+                if dep not in self.store.jobs:
+                    raise SpecError(f"unknown dependency job '{dep}'")
+            job = self.store.submit(kind, spec, priority=priority,
+                                    after=after)
             self.scheduler.submit(job)
             self._cond.notify_all()
             return job.to_dict()
@@ -179,9 +191,37 @@ class Daemon:
 
     # -- workers ----------------------------------------------------------
 
+    def _fail_doomed_locked(self) -> None:
+        """Fail queued jobs whose dependencies can no longer succeed.
+
+        Loops because failing one job may doom its own dependents —
+        the cascade settles before any dispatch decision.
+        """
+        while True:
+            doomed = self.scheduler.doomed()
+            if not doomed:
+                return
+            for job in doomed:
+                if not self.scheduler.cancel(job.id):
+                    continue
+                states = {dep: self._job_state(dep) for dep in job.after}
+                broken = ", ".join(
+                    f"{dep} is {state or 'unknown'}"
+                    for dep, state in states.items()
+                    if state != "done")
+                try:
+                    self.store.mark_failed(
+                        job.id, f"dependency failed: {broken}")
+                except Exception as exc:
+                    print(f"serve: failed to journal dependency "
+                          f"failure of {job.id}: {exc}",
+                          file=sys.stderr)
+            self._cond.notify_all()
+
     def _claim(self):
         with self._cond:
             while not self._stop:
+                self._fail_doomed_locked()
                 batch = self.scheduler.next_batch()
                 if batch is not None:
                     for job in batch.jobs:
@@ -224,7 +264,8 @@ class Daemon:
             try:
                 result = execute_batch(batch.kind, batch.jobs,
                                        self.work_dir,
-                                       engine_jobs=self.engine_jobs)
+                                       engine_jobs=self.engine_jobs,
+                                       resolve=self.store.result)
                 with self._cond:
                     self._commit(batch, result)
             finally:
@@ -303,10 +344,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/api/submit":
                 body = self._body()
+                after = body.get("after") or []
+                if not (isinstance(after, list)
+                        and all(isinstance(a, str) for a in after)):
+                    raise ValueError("'after' must be a list of job ids")
                 job = daemon.submit(body.get("kind", ""),
                                     body.get("spec", {}),
                                     priority=int(body.get("priority",
-                                                          0)))
+                                                          0)),
+                                    after=after)
                 self._reply(200, job)
             elif path.startswith("/api/cancel/"):
                 job_id = path.rsplit("/", 1)[1]

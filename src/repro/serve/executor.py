@@ -15,8 +15,16 @@ same :meth:`~repro.core.PipelineConfig.fingerprint` share a shard
 cache (so overlapping corpora compute once), same-suite evaluate jobs
 become a single :class:`~repro.eval.engine.EvalEngine` pass over the
 union of their models (each job then renders its own model subset),
-and experiments share the engine's cell cache.  Jobs that must not mix
-get different :func:`compat_key` values, which the scheduler respects.
+and experiments share the engine's cell cache.  Train jobs never batch
+(each owns a checkpoint store) but *read* the augment shard cache for
+their corpus config — a pipeline's train stage re-augments nothing.
+Jobs that must not mix get different :func:`compat_key` values, which
+the scheduler respects.
+
+**Dependencies.**  ``resolve`` maps a finished job id to its result
+blob; the evaluate executor uses it to load the trained artefact a
+``spec["trained"]`` entry points at and register it with
+``repro.llm.registry`` before the engine pass.
 """
 
 from __future__ import annotations
@@ -25,9 +33,10 @@ import hashlib
 import json
 import os
 import traceback
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from .jobs import Job
+from .jobs import Job, _train_config
 
 
 def _config_from_spec(spec: dict):
@@ -37,15 +46,24 @@ def _config_from_spec(spec: dict):
     return PipelineConfig(seed=spec.get("seed", 0))
 
 
+def _augment_cache_dir(workdir: str, config) -> str:
+    """The shard cache shared by every run of one augment config —
+    augment batches warm it, train runs read it back."""
+    return os.path.join(workdir, f"aug-{config.fingerprint()[-12:]}")
+
+
 def compat_key(job: Job) -> str:
     """Batching fingerprint: jobs may share a run iff keys match."""
     spec = job.spec
     if job.kind == "augment":
         return f"augment-{_config_from_spec(spec).fingerprint()}"
+    if job.kind == "train":
+        return f"train-{job.id}"        # own checkpoints: never batch
     if job.kind == "evaluate":
         knobs = json.dumps(
             [spec["suite"], spec["samples"], spec["levels"],
-             spec["seed"], spec["sim_backend"]], sort_keys=True)
+             spec["seed"], spec["sim_backend"],
+             spec.get("trained")], sort_keys=True)
         digest = hashlib.sha256(knobs.encode("utf-8")).hexdigest()
         return f"evaluate-{spec['suite']}-{digest[:12]}"
     if job.kind == "simulate":
@@ -89,6 +107,60 @@ def _augment_blob(spec: dict, cache_dir: str, jobs: int) -> dict:
             "dataset_jsonl": text}
 
 
+def _train_blob(spec: dict, workdir: str, jobs: int) -> dict:
+    """Run (or resume) one training job; pure in the canonical spec.
+
+    The corpus loads through the shared augment shard cache — warm
+    after the pipeline's augment stage, so nothing re-augments — and
+    checkpoints live under a spec-keyed directory, so a job requeued by
+    crash recovery resumes instead of restarting (byte-identical either
+    way).  Invocation-dependent fields (``resumed_steps``, cache
+    counters) are deliberately excluded from the blob.
+    """
+    from ..scale.store import DEFAULT_NUM_SHARDS
+    from ..train import build_artifact, corpus_dataset, train_run
+    config = _config_from_spec(spec)
+    spec_digest = hashlib.sha256(
+        json.dumps(spec, sort_keys=True).encode("utf-8")).hexdigest()
+    dataset, _ = corpus_dataset(
+        spec["paths"], config=config,
+        cache_dir=_augment_cache_dir(workdir, config), jobs=jobs,
+        num_shards=spec.get("shards") or DEFAULT_NUM_SHARDS)
+    report = train_run(
+        dataset, _train_config(spec), jobs=jobs,
+        checkpoint_dir=os.path.join(workdir,
+                                    f"train-{spec_digest[:12]}"))
+    artifact = build_artifact(spec["register_as"], report, dataset)
+    return {"kind": "train", "register_as": spec["register_as"],
+            "steps": report.steps, "records": report.records,
+            "trained_tokens": report.trained_tokens,
+            "final_loss": report.final_loss,
+            "losses": report.losses, "val_losses": report.val_losses,
+            "weights_sha256": report.weights_sha256,
+            "dataset_digest": report.dataset_digest,
+            "artifact": artifact}
+
+
+def _resolve_trained(spec: dict,
+                     resolve: Callable[[str], dict | None] | None) -> None:
+    """Register the trained model an evaluate spec depends on."""
+    from ..llm import register_artifact
+    trained = spec.get("trained")
+    if trained is None:
+        return
+    blob = resolve(trained["job"]) if resolve is not None else None
+    if blob is None or "artifact" not in blob:
+        raise RuntimeError(
+            f"trained model '{trained['name']}' needs the artefact of "
+            f"job {trained['job']}, which has no result")
+    artifact = blob["artifact"]
+    if artifact.get("name") != trained["name"]:
+        raise RuntimeError(
+            f"job {trained['job']} trained "
+            f"'{artifact.get('name')}', not '{trained['name']}'")
+    register_artifact(artifact)
+
+
 def _simulate_blob(spec: dict) -> dict:
     from ..sim import run_simulation
     result = run_simulation(spec["source"], top=spec.get("top"),
@@ -127,26 +199,40 @@ def _execute_evaluate(jobs: list[Job], engine) -> dict[str, JobOutcome]:
 
 
 def execute_batch(kind: str, jobs: list[Job], workdir: str,
-                  engine_jobs: int = 1) -> BatchResult:
+                  engine_jobs: int = 1,
+                  resolve: Callable[[str], dict | None] | None = None
+                  ) -> BatchResult:
     """Run one scheduler batch; every job gets an outcome.
 
-    ``sim_stats`` on the returned result is the batch's exact simulator
-    accounting: the engine's worker-aggregated counters for engine-based
-    kinds, the executing thread's delta for direct simulations (the two
-    sources never overlap — counters are thread-local).
+    ``resolve`` maps a done job id to its result blob (the daemon wires
+    the store's result reader in); only evaluate jobs with a
+    ``trained`` dependency use it.  ``sim_stats`` on the returned
+    result is the batch's exact simulator accounting: the engine's
+    worker-aggregated counters for engine-based kinds, the executing
+    thread's delta for direct simulations (the two sources never
+    overlap — counters are thread-local).
     """
     from ..eval import EvalEngine
     from ..sim import BackendStats, backend_stats
     os.makedirs(workdir, exist_ok=True)
     result = BatchResult(sim_stats=BackendStats())
     if kind == "augment":
-        cache_dir = os.path.join(
-            workdir, f"aug-{compat_key(jobs[0])[-12:]}")
+        cache_dir = _augment_cache_dir(
+            workdir, _config_from_spec(jobs[0].spec))
         for job in jobs:
             try:
                 result.outcomes[job.id] = JobOutcome(
                     ok=True, blob=_augment_blob(job.spec, cache_dir,
                                                 engine_jobs))
+            except Exception as exc:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=False, error=_describe(exc))
+    elif kind == "train":
+        for job in jobs:
+            try:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=True, blob=_train_blob(job.spec, workdir,
+                                              engine_jobs))
             except Exception as exc:
                 result.outcomes[job.id] = JobOutcome(
                     ok=False, error=_describe(exc))
@@ -166,6 +252,9 @@ def execute_batch(kind: str, jobs: list[Job], workdir: str,
                             cache_dir=os.path.join(workdir,
                                                    "eval-cache"))
         try:
+            # The whole batch shares one compat key, so the leader's
+            # trained dependency is everyone's.
+            _resolve_trained(jobs[0].spec, resolve)
             result.outcomes = _execute_evaluate(jobs, engine)
         except Exception as exc:
             error = _describe(exc)
@@ -203,17 +292,22 @@ def _describe(exc: Exception) -> str:
 
 
 def execute_job(kind: str, spec: dict, workdir: str,
-                engine_jobs: int = 1) -> dict:
+                engine_jobs: int = 1,
+                resolve: Callable[[str], dict | None] | None = None
+                ) -> dict:
     """Direct (no store, no daemon) execution of one job spec.
 
     The reference path the fault-injection tests compare daemon results
     against; also handy for dry-running a spec before submitting it.
+    ``resolve`` supplies dependency results for evaluate specs with a
+    ``trained`` entry (e.g. ``{train_id: train_blob}.get``).
     """
     from .jobs import validate_spec
     job = Job(id="direct", seq=0, kind=kind,
               spec=validate_spec(kind, spec))
     outcome = execute_batch(kind, [job], workdir,
-                            engine_jobs=engine_jobs).outcomes[job.id]
+                            engine_jobs=engine_jobs,
+                            resolve=resolve).outcomes[job.id]
     if not outcome.ok:
         raise RuntimeError(outcome.error)
     return outcome.blob

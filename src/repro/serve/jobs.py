@@ -1,20 +1,25 @@
-"""Job model: kinds, states, spec validation.
+"""Job model: kinds, states, spec validation, dependencies.
 
-A *job* is one unit of service work — an augmentation run, a benchmark
-suite evaluation, a simulation, or a registered experiment — identified
-by a stable ``job-<seq>`` id.  Specs are normalised at submit time
-(defaults filled in, names validated against the registries) so that a
-job's spec is canonical from the moment it is journaled: batching
-fingerprints and resume behaviour never depend on when defaults were
-applied.
+A *job* is one unit of service work — an augmentation run, a training
+run, a benchmark suite evaluation, a simulation, or a registered
+experiment — identified by a stable ``job-<seq>`` id.  Specs are
+normalised at submit time (defaults filled in, names validated against
+the registries) so that a job's spec is canonical from the moment it
+is journaled: batching fingerprints and resume behaviour never depend
+on when defaults were applied.
+
+``after`` lists job ids that must reach ``done`` before a job becomes
+runnable — the DAG edges ``repro pipeline`` uses to chain
+augment → train → evaluate.  A failed or cancelled dependency fails
+its dependents (transitively).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 #: Every kind the service executes (see ``repro.serve.executor``).
-JOB_KINDS = ("augment", "evaluate", "simulate", "experiment")
+JOB_KINDS = ("augment", "train", "evaluate", "simulate", "experiment")
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -34,7 +39,8 @@ class SpecError(ValueError):
 @dataclass
 class Job:
     """One service job.  ``seq`` is the submission counter (FIFO order);
-    ``attempts`` counts executions across crash/resume cycles."""
+    ``attempts`` counts executions across crash/resume cycles;
+    ``after`` lists dependency job ids gating dispatch."""
 
     id: str
     seq: int
@@ -44,6 +50,7 @@ class Job:
     state: str = QUEUED
     error: str | None = None
     attempts: int = 0
+    after: list[str] = field(default_factory=list)
     #: sha256 of the result blob text promised by the ``done`` event.
     result_sha256: str | None = None
 
@@ -56,7 +63,7 @@ class Job:
         return {"id": self.id, "seq": self.seq, "kind": self.kind,
                 "spec": self.spec, "priority": self.priority,
                 "state": self.state, "error": self.error,
-                "attempts": self.attempts,
+                "attempts": self.attempts, "after": list(self.after),
                 "result_sha256": self.result_sha256}
 
     @staticmethod
@@ -66,6 +73,7 @@ class Job:
                    state=blob.get("state", QUEUED),
                    error=blob.get("error"),
                    attempts=blob.get("attempts", 0),
+                   after=list(blob.get("after", ())),
                    result_sha256=blob.get("result_sha256"))
 
 
@@ -93,6 +101,65 @@ def _normalize_augment(spec: dict) -> dict:
                                                     int) else None)}
 
 
+def _normalize_train(spec: dict) -> dict:
+    """Corpus knobs shared with augment + the training hyper-knobs."""
+    from ..llm.behavioral import PROFILES
+    from ..train import TrainConfig
+    base = _normalize_augment(spec)
+    name = spec.get("register_as", "trained")
+    _require(isinstance(name, str) and name.strip()
+             and name not in PROFILES,
+             "'register_as' must be a non-empty name that does not "
+             "shadow a built-in model")
+    defaults = TrainConfig()
+    knobs = {"epochs": _as_int(spec, "epochs", defaults.epochs),
+             "batch_size": _as_int(spec, "batch_size",
+                                   defaults.batch_size),
+             "micro_batch": _as_int(spec, "micro_batch",
+                                    defaults.micro_batch),
+             "seq_len": _as_int(spec, "seq_len", defaults.seq_len),
+             "vocab_size": _as_int(spec, "vocab_size",
+                                   defaults.vocab_size),
+             "d_model": _as_int(spec, "d_model", defaults.d_model),
+             "n_heads": _as_int(spec, "n_heads", defaults.n_heads),
+             "n_layers": _as_int(spec, "n_layers", defaults.n_layers),
+             "d_ff": _as_int(spec, "d_ff", defaults.d_ff),
+             "checkpoint_every": _as_int(spec, "checkpoint_every",
+                                         defaults.checkpoint_every),
+             "train_seed": _as_int(spec, "train_seed", defaults.seed)}
+    lr = spec.get("lr", defaults.lr)
+    _require(isinstance(lr, (int, float)) and not isinstance(lr, bool)
+             and lr > 0, "'lr' must be a positive number")
+    max_records = spec.get("max_records", defaults.max_records)
+    _require(max_records is None
+             or (isinstance(max_records, int)
+                 and not isinstance(max_records, bool)
+                 and max_records > 0),
+             "'max_records' must be a positive integer or null")
+    spec_out = dict(base)
+    spec_out.update(knobs)
+    spec_out.update({"lr": float(lr), "max_records": max_records,
+                     "register_as": name})
+    try:        # one authoritative consistency check (heads divide, …)
+        _train_config(spec_out).validate()
+    except ValueError as exc:
+        raise SpecError(str(exc)) from None
+    return spec_out
+
+
+def _train_config(spec: dict):
+    """The :class:`repro.train.TrainConfig` a train spec describes."""
+    from ..train import TrainConfig
+    return TrainConfig(
+        epochs=spec["epochs"], batch_size=spec["batch_size"],
+        micro_batch=spec["micro_batch"], seq_len=spec["seq_len"],
+        lr=spec["lr"], seed=spec["train_seed"],
+        vocab_size=spec["vocab_size"], d_model=spec["d_model"],
+        n_heads=spec["n_heads"], n_layers=spec["n_layers"],
+        d_ff=spec["d_ff"], max_records=spec["max_records"],
+        checkpoint_every=spec["checkpoint_every"])
+
+
 def _normalize_evaluate(spec: dict) -> dict:
     from ..bench import EVAL_SUITES, GENERATION_SUITES
     from ..eval.suite_api import (DEFAULT_LEVELS, default_samples,
@@ -102,8 +169,24 @@ def _normalize_evaluate(spec: dict) -> dict:
     _require(suite in EVAL_SUITES,
              f"unknown suite '{suite}'; available: "
              f"{', '.join(EVAL_SUITES)}")
+    trained = spec.get("trained")
+    if trained is not None:
+        from ..llm.behavioral import PROFILES
+        _require(isinstance(trained, dict)
+                 and isinstance(trained.get("name"), str)
+                 and trained["name"].strip()
+                 and isinstance(trained.get("job"), str)
+                 and trained["job"].strip(),
+                 "'trained' must be {'name': <model>, 'job': <job id>} "
+                 "naming the train job whose artefact to score")
+        _require(trained["name"] not in PROFILES,
+                 f"trained name '{trained['name']}' shadows a built-in "
+                 f"model")
+        trained = {"name": trained["name"], "job": trained["job"]}
     models = suite_models(suite, spec.get("models"))
     for name in models:
+        if trained is not None and name == trained["name"]:
+            continue        # registered at execution, from the artefact
         try:
             get_model(name)
         except KeyError:
@@ -129,9 +212,12 @@ def _normalize_evaluate(spec: dict) -> dict:
         samples = default_samples(suite)
     _require(isinstance(samples, int) and samples > 0,
              "'samples' must be a positive integer")
-    return {"suite": suite, "models": models, "samples": samples,
-            "k": _as_int(spec, "k", 5), "levels": levels,
-            "seed": _as_int(spec, "seed", 0), "sim_backend": backend}
+    out = {"suite": suite, "models": models, "samples": samples,
+           "k": _as_int(spec, "k", 5), "levels": levels,
+           "seed": _as_int(spec, "seed", 0), "sim_backend": backend}
+    if trained is not None:
+        out["trained"] = trained
+    return out
 
 
 def _normalize_simulate(spec: dict) -> dict:
@@ -159,6 +245,7 @@ def _normalize_experiment(spec: dict) -> dict:
 
 _NORMALIZERS = {
     "augment": _normalize_augment,
+    "train": _normalize_train,
     "evaluate": _normalize_evaluate,
     "simulate": _normalize_simulate,
     "experiment": _normalize_experiment,

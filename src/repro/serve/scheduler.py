@@ -13,6 +13,10 @@ Invariants (property-tested in ``tests/test_serve_scheduler.py``):
   so e.g. augment requests with different
   :meth:`~repro.core.PipelineConfig.fingerprint` values never share a
   run, while same-suite evaluate requests share one engine pass.
+* **Dependency gating** — a job with ``after`` edges is invisible to
+  dispatch (as leader *or* batch mate) until every dependency is
+  ``done``; a failed/cancelled dependency surfaces the job through
+  :meth:`Scheduler.doomed` so the daemon can fail it (transitively).
 """
 
 from __future__ import annotations
@@ -20,14 +24,14 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from .jobs import Job
+from .jobs import CANCELLED, DONE, FAILED, Job
 
-#: Concurrent batches allowed per kind.  Augment/evaluate runs manage
-#: their own worker pools, so one in-flight batch each keeps the machine
-#: busy without oversubscription; simulations are single-design and
-#: cheap enough to overlap.
-DEFAULT_BUDGETS = {"augment": 1, "evaluate": 1, "simulate": 2,
-                   "experiment": 1}
+#: Concurrent batches allowed per kind.  Augment/evaluate/train runs
+#: manage their own worker pools, so one in-flight batch each keeps the
+#: machine busy without oversubscription; simulations are single-design
+#: and cheap enough to overlap.
+DEFAULT_BUDGETS = {"augment": 1, "train": 1, "evaluate": 1,
+                   "simulate": 2, "experiment": 1}
 
 #: Jobs grouped into one shared run, at most.
 DEFAULT_BATCH_LIMIT = 8
@@ -55,13 +59,18 @@ class Scheduler:
 
     def __init__(self, budgets: dict[str, int] | None = None,
                  batch_limit: int = DEFAULT_BATCH_LIMIT,
-                 compat_fn: Callable[[Job], str] | None = None):
+                 compat_fn: Callable[[Job], str] | None = None,
+                 state_fn: Callable[[str], str | None] | None = None):
         self.budgets = dict(DEFAULT_BUDGETS)
         self.budgets.update(budgets or {})
         self.batch_limit = max(1, batch_limit)
         if compat_fn is None:
             from .executor import compat_key as compat_fn
         self._compat_fn = compat_fn
+        #: Resolves a dependency job id to its current state (the
+        #: daemon wires the store in); None = no dependency tracking,
+        #: every job is immediately ready.
+        self._state_fn = state_fn
         self._queued: dict[str, Job] = {}
         self._compat: dict[str, str] = {}
         self.in_flight: dict[str, int] = {}
@@ -95,25 +104,48 @@ class Scheduler:
     def __len__(self) -> int:
         return len(self._queued)
 
+    # -- dependencies -----------------------------------------------------
+
+    def _ready(self, job: Job) -> bool:
+        """Every dependency done (or no tracking configured)."""
+        if not job.after or self._state_fn is None:
+            return True
+        return all(self._state_fn(dep) == DONE for dep in job.after)
+
+    def doomed(self) -> list[Job]:
+        """Queued jobs that can never run: a dependency failed, was
+        cancelled, or is unknown.  The daemon fails these (which may
+        doom *their* dependents on the next call)."""
+        if self._state_fn is None:
+            return []
+        out = []
+        for job in self._queued.values():
+            states = [self._state_fn(dep) for dep in job.after]
+            if any(state in (FAILED, CANCELLED) or state is None
+                   for state in states):
+                out.append(job)
+        return sorted(out, key=lambda job: job.seq)
+
     # -- dispatch ---------------------------------------------------------
 
     def next_batch(self) -> Batch | None:
         """Claim the next runnable batch, or None if nothing fits.
 
-        The leader is the best-ranked queued job whose kind has budget;
-        its batch is every compatible queued job (same kind + compat
-        key) in rank order, up to ``batch_limit``.
+        The leader is the best-ranked *ready* queued job whose kind has
+        budget; its batch is every compatible ready queued job (same
+        kind + compat key) in rank order, up to ``batch_limit``.
         """
         eligible = [job for job in self._queued.values()
                     if self.in_flight.get(job.kind, 0)
-                    < self.budget_for(job.kind)]
+                    < self.budget_for(job.kind) and self._ready(job)]
         if not eligible:
             return None
         leader = min(eligible, key=lambda job: job.sort_key)
         compat = self._compat[leader.id]
         mates = sorted((job for job in self._queued.values()
                         if job.kind == leader.kind
-                        and self._compat[job.id] == compat),
+                        and self._compat[job.id] == compat
+                        and self._ready(job)),
                        key=lambda job: job.sort_key)
         batch = Batch(kind=leader.kind, compat=compat,
                       jobs=mates[:self.batch_limit])

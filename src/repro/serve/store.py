@@ -265,10 +265,11 @@ class JobStore:
 
     # -- transitions (journal-first) --------------------------------------
 
-    def submit(self, kind: str, spec: dict, priority: int = 0) -> Job:
+    def submit(self, kind: str, spec: dict, priority: int = 0,
+               after: list[str] | None = None) -> Job:
         seq = self._next_job_seq
         job = Job(id=f"job-{seq:06d}", seq=seq, kind=kind, spec=spec,
-                  priority=priority)
+                  priority=priority, after=list(after or ()))
         self._append({"event": "submit", "job": job.to_dict()})
         return self.jobs[job.id]
 

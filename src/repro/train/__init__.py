@@ -1,0 +1,48 @@
+"""Checkpointed, sharded finetuning service (the ``repro.train`` layer).
+
+The last one-shot subsystem — ``llm.trainer`` — scaled out the same way
+``repro.scale`` scaled augmentation: training becomes a crash-safe,
+parallel, cache-aware workload that closes the paper's
+augment → train → evaluate loop.
+
+* :mod:`data`       — deterministic corpus loading straight from the
+  ``repro.scale`` shard caches (content-ordered, no re-augmentation on
+  a warm cache) plus the epoch/batch schedule, a pure function of
+  (dataset digest, config)
+* :mod:`checkpoint` — :class:`CheckpointStore`: atomic, digest-verified
+  ``checkpoint-<step>.json`` blobs behind a journal-first manifest
+  (blob durably on disk *before* the manifest points at it)
+* :mod:`worker`     — module-level micro-batch gradient kernel mapped
+  over :class:`repro.scale.runner.WorkPool` workers
+* :mod:`artifact`   — the trained-model artefact and its derived
+  behavioural profile (what ``repro.eval`` scores via ``llm.registry``)
+* :mod:`service`    — :class:`TrainerService`: data-parallel gradient
+  accumulation with canonical-order reduction (loss curves and final
+  weights are byte-identical across ``--jobs``) and checkpoint/resume
+  (a SIGKILL'd run resumes to bit-identical weights)
+
+See ROADMAP "repro.train" for the guarantees and the proof harness
+(``tests/test_train_service.py``, ``tests/test_pipeline_e2e.py``).
+"""
+
+from .artifact import (TRAIN_ARTIFACT_VERSION, build_artifact,
+                       derive_profile)
+from .checkpoint import (CRASH_AFTER_ENV, CRASH_MODE_ENV,
+                         TRAIN_FORMAT_VERSION, CheckpointStore,
+                         decode_array, encode_array, state_digest)
+from .data import (corpus_dataset, dataset_digest, encode_sequences,
+                   epoch_plan, stable_seed)
+from .service import TrainConfig, TrainReport, TrainerService, train_run
+from .worker import (microbatch_grads, model_state, run_train_chunk,
+                     set_model_state)
+
+__all__ = [
+    "TrainConfig", "TrainReport", "TrainerService", "train_run",
+    "CheckpointStore", "TRAIN_FORMAT_VERSION", "CRASH_AFTER_ENV",
+    "CRASH_MODE_ENV", "encode_array", "decode_array", "state_digest",
+    "corpus_dataset", "dataset_digest", "encode_sequences", "epoch_plan",
+    "stable_seed",
+    "run_train_chunk", "microbatch_grads", "model_state",
+    "set_model_state",
+    "build_artifact", "derive_profile", "TRAIN_ARTIFACT_VERSION",
+]

@@ -1,0 +1,186 @@
+"""Atomic, digest-verified training checkpoints with resume.
+
+Layout under the checkpoint root::
+
+    manifest.json               index: format, fingerprint, checkpoints
+    checkpoint-<step>.json      full training state after <step> steps
+
+**Write discipline** (journal-first, mirroring ``repro.serve.store``):
+a checkpoint blob is atomically written — and durably renamed into
+place — *before* the manifest is rewritten to point at it, and the
+manifest records the blob's sha256.  A crash between the two writes
+leaves the manifest pointing at the previous checkpoint, which is
+always safe: replaying the extra steps from there is deterministic and
+converges on identical weights.  A fingerprint mismatch (different
+train config, different dataset, format bump) discards old checkpoints
+instead of resuming across incompatible state.
+
+**Fault injection.** ``REPRO_TRAIN_CRASH_AFTER`` SIGKILLs the process
+around the Nth checkpoint write; ``REPRO_TRAIN_CRASH_MODE`` picks the
+point — ``kill`` after the full commit (blob + manifest), ``early``
+after the blob but *before* the manifest update (exercising the
+journal-first ordering).  See ``tests/test_train_service.py``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import signal
+
+import numpy as np
+
+from ..core.records import atomic_write_text
+
+#: Bump when the checkpoint blob format changes; old stores are
+#: discarded (training restarts from scratch — still deterministic).
+TRAIN_FORMAT_VERSION = 1
+
+#: Environment hooks for the SIGKILL-at-checkpoint tests.
+CRASH_AFTER_ENV = "REPRO_TRAIN_CRASH_AFTER"
+CRASH_MODE_ENV = "REPRO_TRAIN_CRASH_MODE"
+
+#: Checkpoints kept in the manifest (latest N; older files unlinked).
+KEEP_CHECKPOINTS = 2
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Lossless JSON form of one ndarray (raw bytes, base64)."""
+    contiguous = np.ascontiguousarray(array)
+    return {"dtype": str(contiguous.dtype),
+            "shape": list(contiguous.shape),
+            "data": base64.b64encode(contiguous.tobytes()).decode("ascii")}
+
+
+def decode_array(blob: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array` (bit-exact round trip)."""
+    raw = base64.b64decode(blob["data"])
+    return np.frombuffer(raw, dtype=np.dtype(blob["dtype"])) \
+        .reshape(blob["shape"]).copy()
+
+
+def state_digest(arrays: list[np.ndarray]) -> str:
+    """sha256 over the raw bytes (+ shapes) of an ordered array list."""
+    hasher = hashlib.sha256()
+    for array in arrays:
+        contiguous = np.ascontiguousarray(array)
+        hasher.update(str(contiguous.shape).encode("utf-8"))
+        hasher.update(str(contiguous.dtype).encode("utf-8"))
+        hasher.update(contiguous.tobytes())
+    return hasher.hexdigest()
+
+
+class CheckpointStore:
+    """Manifest-indexed checkpoint blobs for one training run.
+
+    ``fingerprint`` must hash everything that defines the run (format
+    version, train config, dataset digest); a store opened under a
+    different fingerprint starts clean rather than resuming
+    incompatible state.
+    """
+
+    def __init__(self, root: str, fingerprint: str,
+                 crash_after: int | None = None,
+                 crash_mode: str | None = None):
+        self.root = root
+        self.fingerprint = fingerprint
+        self.writes = 0
+        self._manifest_path = os.path.join(root, "manifest.json")
+        self._checkpoints: list[dict] = []      # [{step, file, sha256}]
+        if crash_after is None:
+            crash_after = int(os.environ.get(CRASH_AFTER_ENV, "0") or 0)
+            crash_mode = crash_mode or os.environ.get(CRASH_MODE_ENV)
+        self._crash_after = crash_after or 0
+        self._crash_mode = crash_mode or "kill"
+        self._load_manifest()
+
+    # -- manifest ---------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self._manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if (manifest.get("version") != TRAIN_FORMAT_VERSION
+                or manifest.get("fingerprint") != self.fingerprint):
+            self._clear_files()     # stale config/data: start clean
+            return
+        self._checkpoints = list(manifest.get("checkpoints", []))
+
+    def _clear_files(self) -> None:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith("checkpoint-") and name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                except OSError:
+                    pass
+
+    def _write_manifest(self) -> None:
+        manifest = {"version": TRAIN_FORMAT_VERSION,
+                    "fingerprint": self.fingerprint,
+                    "checkpoints": self._checkpoints}
+        atomic_write_text(self._manifest_path,
+                          json.dumps(manifest, indent=2, sort_keys=True)
+                          + "\n")
+
+    # -- save / load ------------------------------------------------------
+
+    def _crash(self) -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def save(self, step: int, payload: dict) -> None:
+        """Commit one checkpoint: blob first, then the manifest entry."""
+        text = json.dumps(payload, ensure_ascii=False, sort_keys=True) \
+            + "\n"
+        path = os.path.join(self.root, f"checkpoint-{step:08d}.json")
+        atomic_write_text(path, text)
+        self.writes += 1
+        fire = self._crash_after and self.writes >= self._crash_after
+        if fire and self._crash_mode == "early":
+            self._crash()       # blob durable, manifest not yet updated
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        entry = {"step": step, "file": os.path.basename(path),
+                 "sha256": digest}
+        self._checkpoints = [c for c in self._checkpoints
+                             if c["step"] != step] + [entry]
+        self._checkpoints.sort(key=lambda c: c["step"])
+        dropped = self._checkpoints[:-KEEP_CHECKPOINTS]
+        self._checkpoints = self._checkpoints[-KEEP_CHECKPOINTS:]
+        self._write_manifest()
+        for old in dropped:     # after the manifest stops naming them
+            try:
+                os.unlink(os.path.join(self.root, old["file"]))
+            except OSError:
+                pass
+        if fire:
+            self._crash()       # full commit completed
+
+    def latest(self) -> dict | None:
+        """The newest digest-verified checkpoint payload, or None.
+
+        Walks backwards past corrupt/missing blobs (e.g. a crash that
+        beat the unlink of a superseded file) — resuming from an older
+        checkpoint is always correct, just slower.
+        """
+        for entry in reversed(self._checkpoints):
+            path = os.path.join(self.root, entry["file"])
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError:
+                continue
+            if hashlib.sha256(
+                    text.encode("utf-8")).hexdigest() != entry["sha256"]:
+                continue
+            try:
+                return json.loads(text)
+            except ValueError:
+                continue
+        return None

@@ -1,0 +1,320 @@
+"""The checkpointed, data-parallel trainer.
+
+**Determinism contract.**  A run's loss curve and final weights are a
+pure function of ``(dataset, TrainConfig)`` — never of ``jobs``,
+thread vs process pools, checkpoint cadence, or how many SIGKILL-and-
+resume cycles it survived.  Three mechanisms enforce this:
+
+1. the epoch/batch schedule is a pure function of the dataset digest
+   and config (:func:`repro.train.data.epoch_plan`);
+2. per-micro-batch gradients are reduced in canonical micro-batch
+   index order, weighted by valid-token counts — identical arithmetic
+   whether the micro-batches ran inline, on threads, or on forked
+   workers (:mod:`repro.train.worker`);
+3. checkpoints capture the *complete* optimisation state (weights,
+   Adam moments and step count, loss history, schedule position) in a
+   lossless encoding, so a resumed run replays the remaining steps
+   with bit-identical inputs (:mod:`repro.train.checkpoint`).
+
+Proven by ``tests/test_train_service.py`` (property + SIGKILL
+harness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..core.records import Dataset
+from ..llm.tiny_transformer import Adam, TinyTransformerLM, \
+    TransformerConfig
+from ..llm.tokenizer import Tokenizer
+from ..llm.trainer import evaluate_transformer, records_to_text, \
+    split_dataset
+from ..scale.runner import WorkPool
+from .checkpoint import (TRAIN_FORMAT_VERSION, CheckpointStore,
+                         decode_array, encode_array, state_digest)
+from .data import dataset_digest, encode_sequences, epoch_plan
+from .worker import microbatch_grads, model_state, run_train_chunk, \
+    set_model_state
+
+
+@dataclass
+class TrainConfig:
+    """Every knob that affects training output (all in the fingerprint).
+
+    Defaults are sized for the tiny numpy transformer: small enough
+    that a full pipeline run stays interactive, big enough that the
+    loss curve genuinely falls.
+    """
+
+    epochs: int = 2
+    batch_size: int = 4
+    micro_batch: int = 2
+    seq_len: int = 48
+    lr: float = 3e-3
+    seed: int = 0
+    vocab_size: int = 384
+    d_model: int = 16
+    n_heads: int = 2
+    n_layers: int = 1
+    d_ff: int = 32
+    #: Canonical-order prefix cap on the training dataset (None = all).
+    max_records: int | None = 256
+    #: Checkpoint cadence in optimizer steps (0 = final only).
+    checkpoint_every: int = 4
+    val_fraction: float = 0.1
+
+    def validate(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1 or self.micro_batch < 1:
+            raise ValueError("epochs/batch_size/micro_batch must be >= 1")
+        if self.seq_len < 2:
+            raise ValueError("seq_len must be >= 2")
+        if self.d_model % self.n_heads:
+            raise ValueError("n_heads must divide d_model")
+        if not (0.0 < self.val_fraction < 1.0):
+            raise ValueError("val_fraction must be in (0, 1)")
+
+    def fingerprint(self) -> str:
+        """Stable hash of every knob; stamps the checkpoint store."""
+        blob = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def model_config(self, vocab: int) -> dict:
+        """:class:`TransformerConfig` fields for this run's model."""
+        return {"vocab_size": vocab, "d_model": self.d_model,
+                "n_heads": self.n_heads, "n_layers": self.n_layers,
+                "d_ff": self.d_ff, "max_len": self.seq_len,
+                "seed": self.seed}
+
+
+@dataclass
+class TrainReport:
+    """What one (possibly resumed) run produced.
+
+    Only spec-pure fields belong in service result blobs:
+    ``resumed_steps``/``checkpoints_written`` describe *this
+    invocation* and differ between a fresh and a resumed run even
+    though the trained weights are identical.
+    """
+
+    steps: int = 0
+    epochs: int = 0
+    records: int = 0
+    trained_tokens: int = 0
+    losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    weights_sha256: str = ""
+    dataset_digest: str = ""
+    completed: bool = True
+    jobs: int = 1
+    resumed_steps: int = 0
+    checkpoints_written: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if self.val_losses:
+            return self.val_losses[-1]
+        return self.losses[-1] if self.losses else float("inf")
+
+    def summary(self) -> str:
+        resumed = (f", resumed at step {self.resumed_steps}"
+                   if self.resumed_steps else "")
+        return (f"{self.steps} step(s) over {self.records} record(s) "
+                f"[jobs={self.jobs}{resumed}]; final loss "
+                f"{self.final_loss:.4f}; weights "
+                f"{self.weights_sha256[:12]}")
+
+
+class TrainerService:
+    """Run finetuning with checkpoints, resume, and a worker pool."""
+
+    def __init__(self, config: TrainConfig | None = None, jobs: int = 1,
+                 use_threads: bool = False,
+                 checkpoint_dir: str | None = None):
+        self.config = config or TrainConfig()
+        self.config.validate()
+        self.jobs = max(1, jobs)
+        self.use_threads = use_threads
+        self.checkpoint_dir = checkpoint_dir
+
+    # -- one optimizer step ----------------------------------------------
+
+    def _step(self, model: TinyTransformerLM, optimizer: Adam,
+              micros: list, cfg_blob: dict, pool: WorkPool) -> float:
+        """Accumulate one macro-batch's gradients and step.
+
+        Micro-batches may run anywhere; the reduction below walks them
+        in index order so the summed gradient (and the returned
+        token-weighted loss) is byte-identical for any ``jobs``.
+        ``pool`` is the run's persistent :class:`WorkPool` — one
+        executor spans every step, so ``jobs > 1`` pays pool spawn once
+        per run, not once per step.
+        """
+        n = len(micros)
+        if self.jobs == 1 or n == 1:
+            results = {index: microbatch_grads(model, ids, targets)
+                       for index, (ids, targets) in enumerate(micros)}
+        else:
+            state = model_state(model)
+            width = min(self.jobs, n)
+            bounds = [round(i * n / width) for i in range(width + 1)]
+            chunks = {c: (state, cfg_blob,
+                          [(i, micros[i][0], micros[i][1])
+                           for i in range(bounds[c], bounds[c + 1])])
+                      for c in range(width) if bounds[c] < bounds[c + 1]}
+            results = {}
+            for part in pool.map(run_train_chunk, chunks).values():
+                results.update(part)
+        params = model.params()
+        acc = [np.zeros_like(param.value) for param in params]
+        loss_sum = 0.0
+        total = 0
+        for index in range(n):              # canonical reduction order
+            loss, count, grads = results[index]
+            loss_sum += loss * count
+            total += count
+            for slot, grad in zip(acc, grads):
+                slot += count * grad
+        for param, slot in zip(params, acc):
+            param.grad[...] = slot / total
+        optimizer.step()
+        return loss_sum / total
+
+    # -- checkpoint plumbing ---------------------------------------------
+
+    @staticmethod
+    def _payload(model: TinyTransformerLM, optimizer: Adam,
+                 steps_done: int, val_done: int, losses: list[float],
+                 val_losses: list[float]) -> dict:
+        params = model.params()
+        return {"steps_done": steps_done, "val_done": val_done,
+                "losses": list(losses), "val_losses": list(val_losses),
+                "params": [encode_array(p.value) for p in params],
+                "adam_m": [encode_array(p.m) for p in params],
+                "adam_v": [encode_array(p.v) for p in params],
+                "adam_step": optimizer.step_count}
+
+    @staticmethod
+    def _restore(model: TinyTransformerLM, optimizer: Adam,
+                 payload: dict) -> None:
+        set_model_state(model, [decode_array(blob)
+                                for blob in payload["params"]])
+        for param, m_blob, v_blob in zip(model.params(),
+                                         payload["adam_m"],
+                                         payload["adam_v"]):
+            param.m = decode_array(m_blob)
+            param.v = decode_array(v_blob)
+        optimizer.step_count = payload["adam_step"]
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self, dataset: Dataset,
+            stop_after_steps: int | None = None) -> TrainReport:
+        """Train (or resume training) on ``dataset``.
+
+        ``stop_after_steps`` caps the number of optimizer steps
+        *executed by this call* (a checkpoint is committed before
+        returning) — the in-process interruption hook the resume tests
+        drive; production interruption is simply SIGKILL.
+        """
+        config = self.config
+        records = list(dataset)
+        if config.max_records is not None:
+            records = records[:config.max_records]
+        if not records:
+            raise ValueError("training dataset is empty")
+        capped = Dataset(records=records)
+        digest = dataset_digest(capped)
+        train_set, val_set = split_dataset(
+            capped, val_fraction=config.val_fraction, seed=config.seed)
+        tokenizer = Tokenizer.train(records_to_text(train_set),
+                                    vocab_size=config.vocab_size)
+        sequences = encode_sequences(train_set, tokenizer)
+        val_sequences = encode_sequences(val_set, tokenizer)
+        if not any(len(s) >= 2 for s in sequences):
+            raise ValueError("no trainable sequences in dataset")
+        cfg_blob = config.model_config(len(tokenizer))
+        model = TinyTransformerLM(TransformerConfig(**cfg_blob))
+        optimizer = Adam(model.params(), lr=config.lr)
+
+        store = None
+        done_steps = 0
+        val_done = 0
+        losses: list[float] = []
+        val_losses: list[float] = []
+        resumed_steps = 0
+        if self.checkpoint_dir:
+            run_id = hashlib.sha256(
+                f"{TRAIN_FORMAT_VERSION}\x1f{config.fingerprint()}"
+                f"\x1f{digest}".encode("utf-8")).hexdigest()
+            store = CheckpointStore(self.checkpoint_dir, run_id)
+            payload = store.latest()
+            if payload is not None:
+                self._restore(model, optimizer, payload)
+                done_steps = payload["steps_done"]
+                val_done = payload["val_done"]
+                losses = list(payload["losses"])
+                val_losses = list(payload["val_losses"])
+                resumed_steps = done_steps
+
+        def save(step: int) -> None:
+            if store is not None:
+                store.save(step, self._payload(model, optimizer, step,
+                                               val_done, losses,
+                                               val_losses))
+
+        global_step = 0
+        executed = 0
+        completed = True
+        with WorkPool(jobs=self.jobs,
+                      use_threads=self.use_threads) as pool:
+            for epoch in range(config.epochs):
+                plan = epoch_plan(sequences, digest, config.seed, epoch,
+                                  config.batch_size, config.micro_batch,
+                                  config.seq_len, tokenizer.pad_id)
+                for micros in plan:
+                    global_step += 1
+                    if global_step <= done_steps:
+                        continue    # replayed from the checkpoint
+                    losses.append(self._step(model, optimizer, micros,
+                                             cfg_blob, pool))
+                    done_steps = global_step
+                    executed += 1
+                    if (config.checkpoint_every
+                            and global_step % config.checkpoint_every
+                            == 0):
+                        save(global_step)
+                    if (stop_after_steps is not None
+                            and executed >= stop_after_steps):
+                        completed = False
+                        break
+                if not completed:
+                    break
+                if epoch + 1 > val_done:
+                    val_losses.append(evaluate_transformer(
+                        model, val_sequences, tokenizer.pad_id,
+                        config.seq_len))
+                    val_done = epoch + 1
+        save(done_steps)            # final (or interruption) checkpoint
+        return TrainReport(
+            steps=done_steps, epochs=val_done, records=len(capped),
+            trained_tokens=sum(len(s) for s in sequences),
+            losses=losses, val_losses=val_losses,
+            weights_sha256=state_digest(model_state(model)),
+            dataset_digest=digest, completed=completed, jobs=self.jobs,
+            resumed_steps=resumed_steps,
+            checkpoints_written=store.writes if store else 0)
+
+
+def train_run(dataset: Dataset, config: TrainConfig | None = None,
+              jobs: int = 1, use_threads: bool = False,
+              checkpoint_dir: str | None = None,
+              stop_after_steps: int | None = None) -> TrainReport:
+    """One-shot convenience wrapper around :class:`TrainerService`."""
+    service = TrainerService(config, jobs=jobs, use_threads=use_threads,
+                             checkpoint_dir=checkpoint_dir)
+    return service.run(dataset, stop_after_steps=stop_after_steps)

@@ -1,0 +1,77 @@
+"""Micro-batch gradient kernel, mapped over :class:`WorkPool` workers.
+
+The unit of parallel work is one *chunk* of micro-batches: the worker
+rebuilds the model from the shipped weight state, computes per-micro-
+batch gradients, and returns them **unreduced**, keyed by micro-batch
+index.  The service then reduces strictly in micro-batch index order —
+float addition is not associative, so reducing in a canonical order
+(never in completion or worker order) is what makes loss curves and
+final weights byte-identical across ``--jobs``, threads vs processes,
+and chunk boundaries.
+
+Everything here is module-level and operates on plain arrays, so
+chunks pickle cleanly into a process pool; with ``jobs=1`` the service
+calls :func:`microbatch_grads` directly on its live model (no copies,
+same arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..llm.tiny_transformer import TinyTransformerLM, TransformerConfig
+
+
+def model_state(model: TinyTransformerLM) -> list[np.ndarray]:
+    """Copies of every parameter tensor, in canonical params() order."""
+    return [param.value.copy() for param in model.params()]
+
+
+def set_model_state(model: TinyTransformerLM,
+                    arrays: list[np.ndarray]) -> None:
+    """Load a :func:`model_state` snapshot (by copy) into ``model``."""
+    params = model.params()
+    if len(params) != len(arrays):
+        raise ValueError(f"state has {len(arrays)} tensors, model has "
+                         f"{len(params)}")
+    for param, array in zip(params, arrays):
+        if param.value.shape != array.shape:
+            raise ValueError(f"shape mismatch {array.shape} vs "
+                             f"{param.value.shape}")
+        param.value[...] = array
+
+
+def microbatch_grads(model: TinyTransformerLM, ids: np.ndarray,
+                     targets: np.ndarray
+                     ) -> tuple[float, int, list[np.ndarray]]:
+    """(mean loss, valid-token count, per-param grads) for one micro-batch.
+
+    Gradients are the model's own per-micro-batch normalisation (mean
+    over the micro-batch's valid tokens); the service re-weights them
+    by ``count`` when reducing, so the combined step gradient equals a
+    token-weighted mean over the whole macro-batch.
+    """
+    for param in model.params():
+        param.zero_grad()
+    loss = model.loss_and_backward(ids, targets)
+    count = int((targets >= 0).sum())
+    return loss, count, [param.grad.copy() for param in model.params()]
+
+
+def run_train_chunk(payload: tuple[list[np.ndarray], dict,
+                                   list[tuple[int, np.ndarray,
+                                              np.ndarray]]]
+                    ) -> dict[int, tuple[float, int, list[np.ndarray]]]:
+    """Gradient pass over one chunk: ``(state, config, micro-batches)``.
+
+    ``config`` is a :class:`TransformerConfig` field dict; micro-batches
+    arrive as ``(index, ids, targets)`` and results come back keyed by
+    that index so the caller can reduce canonically.  Module-level
+    (picklable) so the :class:`~repro.scale.runner.WorkPool` can run it
+    in a worker process.
+    """
+    state, config_blob, chunk = payload
+    model = TinyTransformerLM(TransformerConfig(**config_blob))
+    set_model_state(model, state)
+    return {index: microbatch_grads(model, ids, targets)
+            for index, ids, targets in chunk}

@@ -1,0 +1,137 @@
+"""Direct unit tests for the generic cache layer (``repro.scale.cache``).
+
+:class:`LRUCache` eviction order and :class:`ManifestCache` hit/miss
+accounting were previously covered only incidentally through the
+eval/scale integration suites; these pin the contracts down directly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.scale.cache import LRUCache, ManifestCache
+
+
+class TestLRUCacheEviction:
+    def test_evicts_least_recently_used_first(self):
+        cache = LRUCache(maxsize=3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        cache.put("d", "D")                 # capacity: "a" leaves
+        assert "a" not in cache
+        assert [key for key in "bcd" if key in cache] == ["b", "c", "d"]
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(maxsize=3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        assert cache.get("a") == "A"        # "b" is now the oldest
+        cache.put("d", "D")
+        assert "b" not in cache and "a" in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 3)                   # rewrite: "b" is the oldest
+        cache.put("c", 4)
+        assert "b" not in cache
+        assert cache.get("a") == 3 and cache.get("c") == 4
+
+    def test_overfill_evicts_in_insertion_order(self):
+        cache = LRUCache(maxsize=2)
+        for index, key in enumerate("abcde"):
+            cache.put(key, index)
+        assert len(cache) == 2
+        assert [key for key in "abcde" if key in cache] == ["d", "e"]
+
+    def test_get_missing_returns_default(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("nope") is None
+        assert cache.get("nope", 42) == 42
+
+    def test_clear_empties(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class _JsonCache(ManifestCache):
+    """Minimal concrete subclass: one JSON blob per slot."""
+
+    def _encode(self, payload) -> str:
+        return json.dumps(payload, sort_keys=True) + "\n"
+
+    def _decode(self, text: str):
+        return json.loads(text)
+
+
+class TestManifestCacheLastRun:
+    def test_counters_start_at_zero_per_instance(self, tmp_path):
+        cache = _JsonCache(str(tmp_path), "fp")
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_cold_then_warm_run_counters(self, tmp_path):
+        cold = _JsonCache(str(tmp_path), "fp")
+        for slot in ("x", "y"):
+            assert cold.lookup(slot, f"key-{slot}") is None
+            cold.store(slot, f"key-{slot}", {"slot": slot})
+        cold.flush()
+        with open(os.path.join(str(tmp_path), "manifest.json"),
+                  encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["last_run"] == {"hits": 0, "misses": 2}
+
+        # A fresh instance resets the counters — last_run describes
+        # exactly one run, which is what makes `misses == 0` a valid
+        # warm-run verification.
+        warm = _JsonCache(str(tmp_path), "fp")
+        assert (warm.hits, warm.misses) == (0, 0)
+        for slot in ("x", "y"):
+            assert warm.lookup(slot, f"key-{slot}") == {"slot": slot}
+        warm.flush()
+        with open(os.path.join(str(tmp_path), "manifest.json"),
+                  encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["last_run"] == {"hits": 2, "misses": 0}
+
+    def test_reflush_overwrites_stale_last_run(self, tmp_path):
+        cache = _JsonCache(str(tmp_path), "fp")
+        cache.lookup("x", "key")            # miss
+        cache.store("x", "key", {"v": 1})
+        cache.flush()
+        assert cache.lookup("x", "key") == {"v": 1}
+        cache.flush()                       # same instance, new totals
+        with open(os.path.join(str(tmp_path), "manifest.json"),
+                  encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["last_run"] == {"hits": 1, "misses": 1}
+
+    def test_key_change_and_corrupt_entry_count_as_misses(self, tmp_path):
+        cache = _JsonCache(str(tmp_path), "fp")
+        cache.store("x", "key-1", {"v": 1})
+        cache.flush()
+        reopened = _JsonCache(str(tmp_path), "fp")
+        assert reopened.lookup("x", "key-2") is None    # stale key
+        assert reopened.misses == 1
+        # Locate the real entry file and corrupt it.
+        entry_dir = os.path.join(str(tmp_path), "entries")
+        entry = os.path.join(entry_dir, os.listdir(entry_dir)[0])
+        with open(entry, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        assert reopened.lookup("x", "key-1") is None
+        assert reopened.misses == 2
+
+    def test_fingerprint_change_discards_entries(self, tmp_path):
+        cache = _JsonCache(str(tmp_path), "fp-a")
+        cache.store("x", "key", {"v": 1})
+        cache.flush()
+        other = _JsonCache(str(tmp_path), "fp-b")
+        assert other.lookup("x", "key") is None
+        assert other.misses == 1
