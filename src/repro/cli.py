@@ -344,6 +344,55 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_infer(args: argparse.Namespace) -> int:
+    """Decode completions from a trained-model artefact, locally (the
+    daemon-free twin of ``repro submit infer``: same seed derivation,
+    same result blob)."""
+    from .infer import sample_tokens, shared_host
+    from .train.data import stable_seed
+    artifact = json.loads(_read(args.artifact))
+    weights = (artifact.get("weights")
+               if isinstance(artifact, dict) else None)
+    if not isinstance(weights, dict):
+        print(f"{args.artifact} carries no weights bundle (written by "
+              "a pre-inference `repro train`? retrain to decode it)",
+              file=sys.stderr)
+        return 2
+    loaded = shared_host().load_bundle(weights)
+    tokenizer = loaded.tokenizer
+    prompts = list(args.prompt)
+    rows = [[tokenizer.bos_id] + tokenizer.encode(p) for p in prompts]
+    seeds = [stable_seed("infer", loaded.digest, args.seed, index,
+                         prompt)
+             for index, prompt in enumerate(prompts)]
+    outs = sample_tokens(loaded.model, rows,
+                         max_tokens=args.max_tokens,
+                         temperature=args.temperature, seeds=seeds,
+                         stop_token=tokenizer.eos_id)
+    completions = []
+    for index, (prompt, row) in enumerate(zip(prompts, rows)):
+        generated = outs[index][len(row):][:args.max_tokens]
+        completions.append({"prompt": prompt,
+                            "text": tokenizer.decode(generated),
+                            "tokens": len(generated)})
+    for entry in completions:
+        print(f">>> {entry['prompt']}")
+        print(entry["text"] or "(empty completion)")
+    print(f"-- decoded {len(completions)} completion(s) from weights "
+          f"{loaded.digest[:12]}")
+    if args.out:
+        blob = {"kind": "infer", "model": artifact.get("name"),
+                "weights_sha256": loaded.digest,
+                "max_tokens": args.max_tokens,
+                "temperature": args.temperature, "seed": args.seed,
+                "completions": completions}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote completions to {args.out}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import Daemon, make_server
     from .serve import JOB_KINDS
@@ -386,6 +435,7 @@ def _client(args: argparse.Namespace):
 
 def cmd_submit(args: argparse.Namespace) -> int:
     from .serve import ServeError
+    after = None
     if args.job_kind == "augment":
         spec = {"paths": [os.path.abspath(p) for p in args.paths],
                 "seed": args.seed,
@@ -404,6 +454,15 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 "levels": args.levels.split(",") if args.levels
                 else None,
                 "seed": args.seed, "sim_backend": args.sim_backend}
+    elif args.job_kind == "infer":
+        spec = {"prompts": list(args.prompt),
+                "trained": {"name": args.trained_name,
+                            "job": args.train_job},
+                "max_tokens": args.max_tokens,
+                "temperature": args.temperature, "seed": args.seed}
+        # Gate on the train job so the weights exist when we decode
+        # (a done dependency resolves immediately).
+        after = [args.train_job]
     elif args.job_kind == "simulate":
         spec = {"source": _read(args.file), "top": args.top,
                 "backend": args.sim_backend, "vcd": args.vcd}
@@ -411,7 +470,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         spec = {"name": args.name, "quick": not args.full}
     try:
         job = _client(args).submit(args.job_kind, spec,
-                                   priority=args.priority)
+                                   priority=args.priority, after=after)
     except ServeError as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
         return 1
@@ -653,13 +712,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_options(p)
     p.set_defaults(fn=cmd_evaluate)
 
+    p = sub.add_parser("infer",
+                       help="decode completions from a trained-model "
+                            "artefact with the batched KV-cache "
+                            "sampler")
+    p.add_argument("artifact",
+                   help="trained-model artefact JSON (from `repro "
+                        "train --out`) carrying a weights bundle")
+    p.add_argument("--prompt", action="append", required=True,
+                   help="prompt text (repeatable; one completion each)")
+    p.add_argument("--max-tokens", type=int, default=32,
+                   help="new tokens to decode per prompt (default 32)")
+    p.add_argument("--temperature", type=float, default=0.0,
+                   help="0 = greedy (default); >0 samples")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sampling seed (per-row streams are derived "
+                        "from it content-stably)")
+    p.add_argument("--out",
+                   help="also write the result blob (JSON) to this "
+                        "file")
+    p.set_defaults(fn=cmd_infer)
+
     # Mirrors repro.serve.daemon.DEFAULT_PORT (kept literal so parser
     # construction stays import-light; test_serve_recovery pins them).
     DEFAULT_PORT = 8471
 
     p = sub.add_parser("serve",
                        help="run the crash-safe job daemon "
-                            "(augment/evaluate/simulate as jobs)")
+                            "(augment/train/evaluate/infer/simulate "
+                            "as jobs)")
     p.add_argument("--store", required=True,
                    help="persistent job store directory (journal, "
                         "snapshot, results, caches)")
@@ -710,6 +791,21 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--seed", type=int, default=0)
     k.add_argument("--sim-backend", choices=("compiled", "interp"),
                    default=None)
+
+    k = kinds.add_parser("infer",
+                         help="decode completions from a trained "
+                              "job's weights")
+    k.add_argument("train_job",
+                   help="train job id whose artefact supplies the "
+                        "weights bundle")
+    k.add_argument("--trained-name", default="trained",
+                   help="the train job's register_as name "
+                        "(default: trained)")
+    k.add_argument("--prompt", action="append", required=True,
+                   help="prompt text (repeatable; one completion each)")
+    k.add_argument("--max-tokens", type=int, default=32)
+    k.add_argument("--temperature", type=float, default=0.0)
+    k.add_argument("--seed", type=int, default=0)
 
     k = kinds.add_parser("simulate", help="simulation job")
     k.add_argument("file", help="Verilog file (inlined into the spec)")

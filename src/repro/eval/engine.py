@@ -51,7 +51,9 @@ from .verilog_eval import evaluate_cell
 
 #: Bump when the cell blob format (or evaluation semantics) changes;
 #: discards old eval caches wholesale.
-EVAL_CACHE_VERSION = 1
+#: v2: trained artefacts evaluate real sampled transformer output
+#: (repro.infer) instead of the behavioural bridge.
+EVAL_CACHE_VERSION = 2
 
 _SLOT_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -83,8 +85,19 @@ def payload_digest(payload: Problem | BrokenCase | ScriptTask) -> str:
 
 
 def profile_digest(model: BehavioralModel) -> str:
-    """Digest of a model's full calibration profile + sampling seed."""
+    """Digest of a model's full identity for cache keying.
+
+    Behavioural models hash their calibration profile + sampling seed.
+    Sampling-backed models (:class:`repro.infer.SampledModel`) expose
+    ``eval_fingerprint`` — sha256 weights digest + decode knobs — which
+    is folded in so two trained artefacts registered under the *same*
+    spec name can never share cells: the weights, not the name, are the
+    identity.
+    """
     blob = json.dumps(asdict(model.profile), sort_keys=True)
+    fingerprint = getattr(model, "eval_fingerprint", None)
+    if fingerprint:
+        return _digest("profile", blob, model.seed, fingerprint)
     return _digest("profile", blob, model.seed)
 
 
@@ -116,8 +129,18 @@ class EvalTask:
         return self.payload.name
 
     def slot(self) -> str:
-        """Stable identity: which cell this is (not what it computed)."""
-        identity = f"{self.kind}-{self.model.name}-{self.name}" + (
+        """Stable identity: which cell this is (not what it computed).
+
+        Sampling-backed models qualify the name with a fragment of
+        their weights fingerprint: two artefacts under one registered
+        name occupy *different* slots, so a retrained pipeline adds
+        cells instead of overwriting (and possibly aliasing) the old
+        artefact's entries.
+        """
+        fingerprint = getattr(self.model, "eval_fingerprint", None)
+        model_tag = self.model.name if not fingerprint \
+            else f"{self.model.name}@{_digest(fingerprint)[:8]}"
+        identity = f"{self.kind}-{model_tag}-{self.name}" + (
             f"-{self.level}" if self.level else "")
         return _SLOT_SAFE.sub("_", identity)
 

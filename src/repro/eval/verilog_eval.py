@@ -148,7 +148,8 @@ def evaluate_cell(model: BehavioralModel, problem: Problem, level: str,
     """One benchmark cell: n samples → syntax count + best function."""
     samples = model.generate_verilog(
         problem.reference, problem.tier, problem.difficulty, level=level,
-        n_samples=n_samples, problem_name=problem.name)
+        n_samples=n_samples, problem_name=problem.name,
+        prompt=problem.prompt(level))
     syntax_errors = 0
     passes = 0
     best = 0.0

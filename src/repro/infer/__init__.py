@@ -1,0 +1,27 @@
+"""Production-shaped inference over the trained numpy transformer.
+
+Layers (each usable on its own):
+
+* :mod:`repro.infer.decode` — batched KV-cache greedy/temperature
+  sampling, token-identical to ``TinyTransformerLM.generate``;
+* :mod:`repro.infer.host` — :class:`ModelHost`, an LRU of live models
+  keyed by sha256 weights digest, loading ``repro.train`` weight
+  bundles / checkpoint stores on demand (LoRA merged at load);
+* :mod:`repro.infer.sampled` — :class:`SampledModel`, the eval-facing
+  adapter that generates Verilog candidates by actually sampling the
+  trained weights (replacing the behavioural bridge for trained
+  artifacts).
+
+The serving layer lives in :mod:`repro.serve` as the ``"infer"`` job
+kind; ``repro infer`` / ``repro submit infer`` are the CLI entries.
+"""
+
+from .decode import forward_logits, sample_tokens
+from .host import LoadedModel, ModelHost, shared_host
+from .sampled import SampledModel
+
+__all__ = [
+    "forward_logits", "sample_tokens",
+    "LoadedModel", "ModelHost", "shared_host",
+    "SampledModel",
+]

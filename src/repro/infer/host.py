@@ -1,0 +1,98 @@
+"""On-demand model hosting: digest-keyed, LRU-bounded live weights.
+
+:class:`ModelHost` turns serialized weight bundles (from train
+artifacts or ``CheckpointStore`` directories) into live, LoRA-merged
+:class:`TinyTransformerLM` instances exactly once per distinct
+``weights_sha256`` — concurrent serve batches and eval cells that hit
+the same trained weights share one decode-ready model, and retrained
+artifacts under the same name can never collide because the digest, not
+the name, is the cache key.  The bundle digest is re-verified on every
+cold load (:func:`repro.train.model_from_bundle`), so a corrupt blob is
+an error, never a silently wrong model.
+
+A process-wide :func:`shared_host` serves the executor and the eval
+path; unit tests build private hosts to exercise eviction and stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..llm.tiny_transformer import TinyTransformerLM
+from ..llm.tokenizer import Tokenizer
+from ..scale.cache import LRUCache
+from ..train.weights import bundle_from_checkpoint, model_from_bundle
+
+__all__ = ["HostStats", "LoadedModel", "ModelHost", "shared_host"]
+
+DEFAULT_CAPACITY = 4
+
+
+@dataclass
+class HostStats:
+    hits: int = 0
+    misses: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+@dataclass
+class LoadedModel:
+    """One resident model: live weights + the tokenizer it decodes with."""
+
+    digest: str
+    model: TinyTransformerLM
+    tokenizer: Tokenizer
+    config: dict = field(default_factory=dict)
+
+
+class ModelHost:
+    """LRU of live models keyed by sha256 weights digest."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._cache: LRUCache[str, LoadedModel] = LRUCache(
+            maxsize=capacity)
+        self._lock = threading.Lock()
+        self.stats = HostStats()
+
+    @property
+    def resident(self) -> int:
+        return len(self._cache)
+
+    def load_bundle(self, bundle: dict) -> LoadedModel:
+        """The live model for ``bundle`` (cold load at most once).
+
+        LoRA adapters, when the bundle carries them, are merged into
+        the dense weights at load — the served model never runs the
+        adapter path.
+        """
+        digest = bundle.get("weights_sha256")
+        if not digest:
+            raise ValueError("weights bundle has no weights_sha256")
+        with self._lock:
+            loaded = self._cache.get(digest)
+            if loaded is not None:
+                self.stats.hits += 1
+                return loaded
+            self.stats.misses += 1
+            model, tokenizer = model_from_bundle(bundle, merge=True)
+            loaded = LoadedModel(digest=digest, model=model,
+                                 tokenizer=tokenizer,
+                                 config=dict(bundle["model"]))
+            self._cache.put(digest, loaded)
+            return loaded
+
+    def load_checkpoint(self, root: str,
+                        fingerprint: str | None = None) -> LoadedModel:
+        """Load the newest verified checkpoint under ``root``."""
+        return self.load_bundle(bundle_from_checkpoint(root, fingerprint))
+
+
+_SHARED = ModelHost()
+
+
+def shared_host() -> ModelHost:
+    """The process-wide host (serve executor + eval adapters)."""
+    return _SHARED

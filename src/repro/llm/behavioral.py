@@ -257,14 +257,17 @@ class BehavioralModel:
 
     def generate_verilog(self, reference: str, tier: str,
                          difficulty: float, level: str = "middle",
-                         n_samples: int = 5,
-                         problem_name: str = "") -> list[str]:
+                         n_samples: int = 5, problem_name: str = "",
+                         prompt: str = "") -> list[str]:
         """``n_samples`` candidate implementations for one problem.
 
         A model that cannot solve a problem converges on one wrong design
         (real LLMs repeat their misunderstanding across samples), so the
         functional corruption seed is fixed per (model, problem); only
-        the syntax noise varies per sample and prompt level.
+        the syntax noise varies per sample and prompt level.  ``prompt``
+        (the NL problem description) is accepted for interface parity
+        with :class:`repro.infer.SampledModel` and ignored — behaviour
+        here is driven by the calibrated profile, not the prompt text.
         """
         solved = self.solves(tier, difficulty, level)
         noise_scale = LEVEL_BONUS.get(level, 1.0)

@@ -28,6 +28,10 @@ TABLE4_MODEL_ORDER = ("gpt-3.5", "thakur", "ours-7b", "llama2-13b",
 #: Runtime-registered (trained) profiles; see :func:`register_profile`.
 _RUNTIME_PROFILES: dict[str, ModelProfile] = {}
 
+#: Weight bundles for runtime names whose artefact carried one —
+#: :func:`get_model` resolves these to sampling-backed models.
+_RUNTIME_WEIGHTS: dict[str, dict] = {}
+
 
 def available_models() -> tuple[str, ...]:
     return tuple(sorted(set(PROFILES) | set(_RUNTIME_PROFILES)))
@@ -54,6 +58,7 @@ def register_profile(profile: ModelProfile) -> ModelProfile:
 def unregister_profile(name: str) -> None:
     """Drop a runtime registration (test isolation hook)."""
     _RUNTIME_PROFILES.pop(name, None)
+    _RUNTIME_WEIGHTS.pop(name, None)
 
 
 def profile_from_dict(blob: dict) -> ModelProfile:
@@ -82,7 +87,13 @@ def register_artifact(artifact: dict) -> ModelProfile:
     if profile.name != artifact.get("name"):
         raise ValueError(f"artefact name '{artifact.get('name')}' does "
                          f"not match its profile '{profile.name}'")
-    return register_profile(profile)
+    register_profile(profile)
+    weights = artifact.get("weights")
+    if weights is not None:
+        _RUNTIME_WEIGHTS[profile.name] = weights
+    else:
+        _RUNTIME_WEIGHTS.pop(profile.name, None)
+    return profile
 
 
 def get_profile(name: str) -> ModelProfile:
@@ -94,4 +105,17 @@ def get_profile(name: str) -> ModelProfile:
 
 
 def get_model(name: str, seed: int = 0) -> BehavioralModel:
-    return BehavioralModel(get_profile(name), seed=seed)
+    """The scorable model for ``name``.
+
+    Built-ins (and artefacts without weights) resolve to the calibrated
+    :class:`BehavioralModel`; a trained artefact that carried a weights
+    bundle resolves to a :class:`repro.infer.SampledModel` that decodes
+    from the actual transformer.  The import is deferred — ``repro.llm``
+    must not depend on ``repro.infer`` at import time.
+    """
+    profile = get_profile(name)
+    weights = _RUNTIME_WEIGHTS.get(name)
+    if weights is not None:
+        from ..infer.sampled import SampledModel
+        return SampledModel(profile, weights, seed=seed)
+    return BehavioralModel(profile, seed=seed)

@@ -54,6 +54,16 @@ class Linear:
             y = y + self.lora.forward(x)
         return y
 
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward: same arithmetic as :meth:`forward`
+        (same expression order, so results are bit-identical) without
+        caching ``x`` — safe to call concurrently and mid-training."""
+        y = x @ self.weight.value.T + self.bias.value
+        if self.lora is not None:
+            y = y + (x @ self.lora.A.value.T) @ self.lora.B.value.T \
+                * self.lora.scaling
+        return y
+
     def backward(self, grad_y: np.ndarray) -> np.ndarray:
         x = self._x
         flat_x = x.reshape(-1, x.shape[-1])
@@ -85,6 +95,14 @@ class LayerNorm:
         var = x.var(axis=-1, keepdims=True)
         xhat = (x - mu) / np.sqrt(var + self.eps)
         self._cache = (xhat, var)
+        return xhat * self.gamma.value + self.beta.value
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward, bit-identical to :meth:`forward`
+        (statistics are row-local) without touching ``_cache``."""
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        xhat = (x - mu) / np.sqrt(var + self.eps)
         return xhat * self.gamma.value + self.beta.value
 
     def backward(self, grad_y: np.ndarray) -> np.ndarray:

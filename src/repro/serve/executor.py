@@ -66,6 +66,12 @@ def compat_key(job: Job) -> str:
              spec.get("trained")], sort_keys=True)
         digest = hashlib.sha256(knobs.encode("utf-8")).hexdigest()
         return f"evaluate-{spec['suite']}-{digest[:12]}"
+    if job.kind == "infer":
+        # One train job = one weights digest, so keying on the trained
+        # job id batches by weights identity before any result exists:
+        # same-model requests share one decode batch (and one ModelHost
+        # load); per-job prompts/knobs ride along per row.
+        return f"infer-{spec['trained']['job']}"
     if job.kind == "simulate":
         return "simulate"
     if job.kind == "experiment":
@@ -161,6 +167,78 @@ def _resolve_trained(spec: dict,
     register_artifact(artifact)
 
 
+def _trained_weights(spec: dict,
+                     resolve: Callable[[str], dict | None] | None) -> dict:
+    """The weights bundle the spec's ``trained`` reference points at."""
+    trained = spec["trained"]
+    blob = resolve(trained["job"]) if resolve is not None else None
+    if blob is None or "artifact" not in blob:
+        raise RuntimeError(
+            f"trained model '{trained['name']}' needs the artefact of "
+            f"job {trained['job']}, which has no result")
+    artifact = blob["artifact"]
+    if artifact.get("name") != trained["name"]:
+        raise RuntimeError(
+            f"job {trained['job']} trained "
+            f"'{artifact.get('name')}', not '{trained['name']}'")
+    weights = artifact.get("weights")
+    if weights is None:
+        raise RuntimeError(
+            f"artefact of job {trained['job']} carries no weights "
+            "bundle (trained by a pre-inference repro.train?)")
+    return weights
+
+
+def _execute_infer(jobs: list[Job],
+                   resolve: Callable[[str], dict | None] | None
+                   ) -> dict[str, JobOutcome]:
+    """One shared decode batch for every prompt in the batch's jobs.
+
+    The batch shares one compat key (= one trained job = one weights
+    digest), so all rows decode against one :class:`ModelHost` entry in
+    a single :func:`sample_tokens` call.  Each row's seed derives from
+    its *own* job's spec (never from batch composition), and KV-cache
+    decoding is token-identical to solo decoding — so a job's blob is
+    the same whether it ran alone or shared a batch.
+    """
+    from ..infer import sample_tokens, shared_host
+    from ..train.data import stable_seed
+    weights = _trained_weights(jobs[0].spec, resolve)
+    loaded = shared_host().load_bundle(weights)
+    tokenizer = loaded.tokenizer
+    rows, temps, seeds, spans = [], [], [], []
+    for job in jobs:
+        start = len(rows)
+        for index, prompt in enumerate(job.spec["prompts"]):
+            rows.append([tokenizer.bos_id] + tokenizer.encode(prompt))
+            temps.append(job.spec["temperature"])
+            seeds.append(stable_seed("infer", loaded.digest,
+                                     job.spec["seed"], index, prompt))
+        spans.append((job, start, len(rows)))
+    outs = sample_tokens(loaded.model, rows,
+                         max_tokens=max(job.spec["max_tokens"]
+                                        for job in jobs),
+                         temperature=temps, seeds=seeds,
+                         stop_token=tokenizer.eos_id)
+    outcomes = {}
+    for job, start, end in spans:
+        completions = []
+        for row in range(start, end):
+            generated = outs[row][len(rows[row]):]
+            generated = generated[:job.spec["max_tokens"]]
+            completions.append(
+                {"prompt": job.spec["prompts"][row - start],
+                 "text": tokenizer.decode(generated),
+                 "tokens": len(generated)})
+        outcomes[job.id] = JobOutcome(ok=True, blob={
+            "kind": "infer", "model": job.spec["trained"]["name"],
+            "weights_sha256": loaded.digest,
+            "max_tokens": job.spec["max_tokens"],
+            "temperature": job.spec["temperature"],
+            "seed": job.spec["seed"], "completions": completions})
+    return outcomes
+
+
 def _simulate_blob(spec: dict) -> dict:
     from ..sim import run_simulation
     result = run_simulation(spec["source"], top=spec.get("top"),
@@ -205,8 +283,8 @@ def execute_batch(kind: str, jobs: list[Job], workdir: str,
     """Run one scheduler batch; every job gets an outcome.
 
     ``resolve`` maps a done job id to its result blob (the daemon wires
-    the store's result reader in); only evaluate jobs with a
-    ``trained`` dependency use it.  ``sim_stats`` on the returned
+    the store's result reader in); evaluate and infer jobs use it to
+    reach their ``trained`` dependency's artefact.  ``sim_stats`` on the returned
     result is the batch's exact simulator accounting: the engine's
     worker-aggregated counters for engine-based kinds, the executing
     thread's delta for direct simulations (the two sources never
@@ -236,6 +314,13 @@ def execute_batch(kind: str, jobs: list[Job], workdir: str,
             except Exception as exc:
                 result.outcomes[job.id] = JobOutcome(
                     ok=False, error=_describe(exc))
+    elif kind == "infer":
+        try:
+            result.outcomes = _execute_infer(jobs, resolve)
+        except Exception as exc:
+            error = _describe(exc)
+            result.outcomes = {job.id: JobOutcome(ok=False, error=error)
+                               for job in jobs}
     elif kind == "simulate":
         stats = backend_stats()
         before = stats.copy()
@@ -299,8 +384,8 @@ def execute_job(kind: str, spec: dict, workdir: str,
 
     The reference path the fault-injection tests compare daemon results
     against; also handy for dry-running a spec before submitting it.
-    ``resolve`` supplies dependency results for evaluate specs with a
-    ``trained`` entry (e.g. ``{train_id: train_blob}.get``).
+    ``resolve`` supplies dependency results for evaluate/infer specs
+    with a ``trained`` entry (e.g. ``{train_id: train_blob}.get``).
     """
     from .jobs import validate_spec
     job = Job(id="direct", seq=0, kind=kind,

@@ -1,8 +1,9 @@
 """Job model: kinds, states, spec validation, dependencies.
 
 A *job* is one unit of service work — an augmentation run, a training
-run, a benchmark suite evaluation, a simulation, or a registered
-experiment — identified by a stable ``job-<seq>`` id.  Specs are
+run, a benchmark suite evaluation, an inference (decode) request, a
+simulation, or a registered experiment — identified by a stable
+``job-<seq>`` id.  Specs are
 normalised at submit time (defaults filled in, names validated against
 the registries) so that a job's spec is canonical from the moment it
 is journaled: batching fingerprints and resume behaviour never depend
@@ -19,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Every kind the service executes (see ``repro.serve.executor``).
-JOB_KINDS = ("augment", "train", "evaluate", "simulate", "experiment")
+JOB_KINDS = ("augment", "train", "evaluate", "infer", "simulate",
+             "experiment")
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -160,6 +162,47 @@ def _train_config(spec: dict):
         checkpoint_every=spec["checkpoint_every"])
 
 
+def _trained_ref(trained) -> dict | None:
+    """Canonical ``{'name', 'job'}`` reference to a train job's artefact
+    (shared by the evaluate and infer specs)."""
+    if trained is None:
+        return None
+    from ..llm.behavioral import PROFILES
+    _require(isinstance(trained, dict)
+             and isinstance(trained.get("name"), str)
+             and trained["name"].strip()
+             and isinstance(trained.get("job"), str)
+             and trained["job"].strip(),
+             "'trained' must be {'name': <model>, 'job': <job id>} "
+             "naming the train job whose artefact to score")
+    _require(trained["name"] not in PROFILES,
+             f"trained name '{trained['name']}' shadows a built-in "
+             f"model")
+    return {"name": trained["name"], "job": trained["job"]}
+
+
+def _normalize_infer(spec: dict) -> dict:
+    """Decode completions from a trained artefact's weights."""
+    prompts = spec.get("prompts")
+    _require(isinstance(prompts, list) and prompts
+             and all(isinstance(p, str) and p.strip() for p in prompts),
+             "'prompts' must be a non-empty list of non-empty strings")
+    trained = _trained_ref(spec.get("trained"))
+    _require(trained is not None,
+             "'trained' is required: {'name': <model>, 'job': <job id>} "
+             "naming the train job whose weights to decode from")
+    max_tokens = _as_int(spec, "max_tokens", 32)
+    _require(max_tokens > 0, "'max_tokens' must be >= 1")
+    temperature = spec.get("temperature", 0.0)
+    _require(isinstance(temperature, (int, float))
+             and not isinstance(temperature, bool) and temperature >= 0,
+             "'temperature' must be a number >= 0")
+    return {"prompts": list(prompts), "trained": trained,
+            "max_tokens": max_tokens,
+            "temperature": float(temperature),
+            "seed": _as_int(spec, "seed", 0)}
+
+
 def _normalize_evaluate(spec: dict) -> dict:
     from ..bench import EVAL_SUITES, GENERATION_SUITES
     from ..eval.suite_api import (DEFAULT_LEVELS, default_samples,
@@ -169,20 +212,7 @@ def _normalize_evaluate(spec: dict) -> dict:
     _require(suite in EVAL_SUITES,
              f"unknown suite '{suite}'; available: "
              f"{', '.join(EVAL_SUITES)}")
-    trained = spec.get("trained")
-    if trained is not None:
-        from ..llm.behavioral import PROFILES
-        _require(isinstance(trained, dict)
-                 and isinstance(trained.get("name"), str)
-                 and trained["name"].strip()
-                 and isinstance(trained.get("job"), str)
-                 and trained["job"].strip(),
-                 "'trained' must be {'name': <model>, 'job': <job id>} "
-                 "naming the train job whose artefact to score")
-        _require(trained["name"] not in PROFILES,
-                 f"trained name '{trained['name']}' shadows a built-in "
-                 f"model")
-        trained = {"name": trained["name"], "job": trained["job"]}
+    trained = _trained_ref(spec.get("trained"))
     models = suite_models(suite, spec.get("models"))
     for name in models:
         if trained is not None and name == trained["name"]:
@@ -247,6 +277,7 @@ _NORMALIZERS = {
     "augment": _normalize_augment,
     "train": _normalize_train,
     "evaluate": _normalize_evaluate,
+    "infer": _normalize_infer,
     "simulate": _normalize_simulate,
     "experiment": _normalize_experiment,
 }

@@ -17,6 +17,15 @@ Invariants (property-tested in ``tests/test_serve_scheduler.py``):
   dispatch (as leader *or* batch mate) until every dependency is
   ``done``; a failed/cancelled dependency surfaces the job through
   :meth:`Scheduler.doomed` so the daemon can fail it (transitively).
+
+Dependency readiness is tracked through a waiter index (dependency job
+id → waiting job ids): each dispatch polls each *distinct unresolved*
+dependency once, instead of re-querying every dependency of every
+queued job.  A dependency observed ``done`` is resolved permanently and
+never polled again (job states never leave a terminal state), so a
+deep ``after`` chain costs O(unresolved deps) per dispatch, not
+O(queue × deps).  Polling stays lazy — no notification is required;
+state changes are picked up on the next dispatch attempt.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from .jobs import CANCELLED, DONE, FAILED, Job
 #: machine busy without oversubscription; simulations are single-design
 #: and cheap enough to overlap.
 DEFAULT_BUDGETS = {"augment": 1, "train": 1, "evaluate": 1,
-                   "simulate": 2, "experiment": 1}
+                   "infer": 1, "simulate": 2, "experiment": 1}
 
 #: Jobs grouped into one shared run, at most.
 DEFAULT_BATCH_LIMIT = 8
@@ -73,6 +82,14 @@ class Scheduler:
         self._state_fn = state_fn
         self._queued: dict[str, Job] = {}
         self._compat: dict[str, str] = {}
+        #: Waiter index: queued job id → its still-unresolved dep ids,
+        #: and the inverse (dep id → queued job ids waiting on it).
+        #: Dispatch polls each distinct unresolved dep once; a dep seen
+        #: ``done`` leaves the index for good.
+        self._blocked: dict[str, set[str]] = {}
+        self._waiting: dict[str, set[str]] = {}
+        #: Queued job id → the broken dependency that dooms it.
+        self._doomed: dict[str, str] = {}
         self.in_flight: dict[str, int] = {}
 
     def budget_for(self, kind: str) -> int:
@@ -86,6 +103,11 @@ class Scheduler:
         """Track a queued job (its compat key is computed once, here)."""
         self._queued[job.id] = job
         self._compat[job.id] = self._compat_fn(job)
+        if job.after and self._state_fn is not None:
+            deps = set(job.after)
+            self._blocked[job.id] = deps
+            for dep in deps:
+                self._waiting.setdefault(dep, set()).add(job.id)
 
     def cancel(self, job_id: str) -> bool:
         """Drop a queued job; False if it is not queued here (e.g.
@@ -93,7 +115,18 @@ class Scheduler:
         if self._queued.pop(job_id, None) is None:
             return False
         self._compat.pop(job_id, None)
+        self._unindex(job_id)
+        self._doomed.pop(job_id, None)
         return True
+
+    def _unindex(self, job_id: str) -> None:
+        """Drop a job's waiter-index entries (it left the queue)."""
+        for dep in self._blocked.pop(job_id, ()):
+            waiters = self._waiting.get(dep)
+            if waiters is not None:
+                waiters.discard(job_id)
+                if not waiters:
+                    del self._waiting[dep]
 
     def queue_depths(self) -> dict[str, int]:
         depths: dict[str, int] = {}
@@ -106,25 +139,52 @@ class Scheduler:
 
     # -- dependencies -----------------------------------------------------
 
+    def _refresh(self) -> None:
+        """Poll each distinct unresolved dependency once (lazily, at
+        dispatch time — no notification needed).
+
+        ``done`` resolves the dep permanently (states never leave a
+        terminal state, so it is not polled again); failed/cancelled/
+        unknown dooms every waiter and stops tracking their remaining
+        deps; queued/running deps stay indexed for the next refresh.
+        """
+        if self._state_fn is None or not self._waiting:
+            return
+        for dep in list(self._waiting):
+            waiters = self._waiting.get(dep)
+            if not waiters:
+                self._waiting.pop(dep, None)
+                continue
+            state = self._state_fn(dep)
+            if state == DONE:
+                for job_id in self._waiting.pop(dep):
+                    blocked = self._blocked.get(job_id)
+                    if blocked is not None:
+                        blocked.discard(dep)
+                        if not blocked:
+                            del self._blocked[job_id]
+            elif state in (FAILED, CANCELLED) or state is None:
+                for job_id in self._waiting.pop(dep):
+                    self._doomed.setdefault(job_id, dep)
+                    for other in self._blocked.pop(job_id, ()):
+                        others = self._waiting.get(other)
+                        if others is not None and other != dep:
+                            others.discard(job_id)
+                            if not others:
+                                del self._waiting[other]
+
     def _ready(self, job: Job) -> bool:
-        """Every dependency done (or no tracking configured)."""
-        if not job.after or self._state_fn is None:
-            return True
-        return all(self._state_fn(dep) == DONE for dep in job.after)
+        """Every dependency resolved done (call :meth:`_refresh` first)."""
+        return job.id not in self._blocked and job.id not in self._doomed
 
     def doomed(self) -> list[Job]:
         """Queued jobs that can never run: a dependency failed, was
         cancelled, or is unknown.  The daemon fails these (which may
         doom *their* dependents on the next call)."""
-        if self._state_fn is None:
-            return []
-        out = []
-        for job in self._queued.values():
-            states = [self._state_fn(dep) for dep in job.after]
-            if any(state in (FAILED, CANCELLED) or state is None
-                   for state in states):
-                out.append(job)
-        return sorted(out, key=lambda job: job.seq)
+        self._refresh()
+        return sorted((self._queued[job_id] for job_id in self._doomed
+                       if job_id in self._queued),
+                      key=lambda job: job.seq)
 
     # -- dispatch ---------------------------------------------------------
 
@@ -135,6 +195,7 @@ class Scheduler:
         budget; its batch is every compatible ready queued job (same
         kind + compat key) in rank order, up to ``batch_limit``.
         """
+        self._refresh()
         eligible = [job for job in self._queued.values()
                     if self.in_flight.get(job.kind, 0)
                     < self.budget_for(job.kind) and self._ready(job)]

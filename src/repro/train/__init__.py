@@ -33,6 +33,8 @@ from .checkpoint import (CRASH_AFTER_ENV, CRASH_MODE_ENV,
 from .data import (corpus_dataset, dataset_digest, encode_sequences,
                    epoch_plan, stable_seed)
 from .service import TrainConfig, TrainReport, TrainerService, train_run
+from .weights import (bundle_from_checkpoint, bundle_from_payload,
+                      model_from_bundle, model_weights_bundle)
 from .worker import (microbatch_grads, model_state, run_train_chunk,
                      set_model_state)
 
@@ -45,4 +47,6 @@ __all__ = [
     "run_train_chunk", "microbatch_grads", "model_state",
     "set_model_state",
     "build_artifact", "derive_profile", "TRAIN_ARTIFACT_VERSION",
+    "model_weights_bundle", "model_from_bundle", "bundle_from_payload",
+    "bundle_from_checkpoint",
 ]

@@ -30,7 +30,9 @@ from ..llm.behavioral import (PROFILES, ModelProfile, ScriptSkill,
                               derived_solve_rate)
 
 #: Bump when the artefact schema or profile derivation changes.
-TRAIN_ARTIFACT_VERSION = 1
+#: v2: artefacts embed the trained weights bundle, so evaluation
+#: samples the actual transformer instead of the behavioural bridge.
+TRAIN_ARTIFACT_VERSION = 2
 
 #: The finetuning starting point (the paper finetunes Llama-2).
 BASE_PROFILE = "llama2-13b"
@@ -92,13 +94,7 @@ def derive_profile(name: str, dataset: Dataset, final_loss: float,
                             for k in _TRAINED_SCRIPTS}))
 
 
-def build_artifact(name: str, report, dataset: Dataset) -> dict:
-    """The artefact blob for one finished run (pure in run + dataset).
-
-    ``report`` is a :class:`repro.train.service.TrainReport`; the
-    import is kept out of module scope to avoid a cycle (the service
-    builds artefacts).
-    """
+def _artifact_base(name: str, report, dataset: Dataset) -> dict:
     profile = derive_profile(name, dataset, report.final_loss)
     per_task = {task.value: count
                 for task, count in sorted(dataset.task_counts().items(),
@@ -118,3 +114,19 @@ def build_artifact(name: str, report, dataset: Dataset) -> dict:
                     "digest": report.dataset_digest,
                     "per_task": per_task},
     }
+
+
+def build_artifact(name: str, report, dataset: Dataset) -> dict:
+    """The artefact blob for one finished run (pure in run + dataset).
+
+    ``report`` is a :class:`repro.train.service.TrainReport`; the
+    import is kept out of module scope to avoid a cycle (the service
+    builds artefacts).  When the report carries a weights bundle it is
+    embedded verbatim: ``repro evaluate --artifact`` and the serve
+    pipeline then score *sampled* transformer output, and inference
+    jobs can decode from the artefact with no filesystem coupling.
+    """
+    blob = _artifact_base(name, report, dataset)
+    if getattr(report, "weights_bundle", None) is not None:
+        blob["weights"] = report.weights_bundle
+    return blob

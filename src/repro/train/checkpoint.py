@@ -36,7 +36,9 @@ from ..core.records import atomic_write_text
 
 #: Bump when the checkpoint blob format changes; old stores are
 #: discarded (training restarts from scratch — still deterministic).
-TRAIN_FORMAT_VERSION = 1
+#: v2: payloads carry ``model_config`` + ``tokenizer`` so inference
+#: can load weights straight from a checkpoint directory.
+TRAIN_FORMAT_VERSION = 2
 
 #: Environment hooks for the SIGKILL-at-checkpoint tests.
 CRASH_AFTER_ENV = "REPRO_TRAIN_CRASH_AFTER"

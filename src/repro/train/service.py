@@ -38,6 +38,7 @@ from ..scale.runner import WorkPool
 from .checkpoint import (TRAIN_FORMAT_VERSION, CheckpointStore,
                          decode_array, encode_array, state_digest)
 from .data import dataset_digest, encode_sequences, epoch_plan
+from .weights import model_weights_bundle
 from .worker import microbatch_grads, model_state, run_train_chunk, \
     set_model_state
 
@@ -113,6 +114,10 @@ class TrainReport:
     jobs: int = 1
     resumed_steps: int = 0
     checkpoints_written: int = 0
+    #: Portable weights bundle (see :mod:`repro.train.weights`) — a
+    #: pure function of the trained weights + tokenizer, embedded in
+    #: artifacts so inference/eval need no filesystem access.
+    weights_bundle: dict | None = None
 
     @property
     def final_loss(self) -> float:
@@ -189,14 +194,19 @@ class TrainerService:
     @staticmethod
     def _payload(model: TinyTransformerLM, optimizer: Adam,
                  steps_done: int, val_done: int, losses: list[float],
-                 val_losses: list[float]) -> dict:
+                 val_losses: list[float], cfg_blob: dict,
+                 tokenizer: Tokenizer) -> dict:
         params = model.params()
         return {"steps_done": steps_done, "val_done": val_done,
                 "losses": list(losses), "val_losses": list(val_losses),
                 "params": [encode_array(p.value) for p in params],
                 "adam_m": [encode_array(p.m) for p in params],
                 "adam_v": [encode_array(p.v) for p in params],
-                "adam_step": optimizer.step_count}
+                "adam_step": optimizer.step_count,
+                # Inference handoff: enough to rebuild model + tokenizer
+                # straight from a checkpoint (repro.train.weights).
+                "model_config": dict(cfg_blob),
+                "tokenizer": list(tokenizer.inverse)}
 
     @staticmethod
     def _restore(model: TinyTransformerLM, optimizer: Adam,
@@ -265,7 +275,8 @@ class TrainerService:
             if store is not None:
                 store.save(step, self._payload(model, optimizer, step,
                                                val_done, losses,
-                                               val_losses))
+                                               val_losses, cfg_blob,
+                                               tokenizer))
 
         global_step = 0
         executed = 0
@@ -307,7 +318,8 @@ class TrainerService:
             weights_sha256=state_digest(model_state(model)),
             dataset_digest=digest, completed=completed, jobs=self.jobs,
             resumed_steps=resumed_steps,
-            checkpoints_written=store.writes if store else 0)
+            checkpoints_written=store.writes if store else 0,
+            weights_bundle=model_weights_bundle(model, tokenizer))
 
 
 def train_run(dataset: Dataset, config: TrainConfig | None = None,

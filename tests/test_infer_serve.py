@@ -1,0 +1,150 @@
+"""The ``infer`` job kind: spec validation, batching, determinism.
+
+The serving contract under test: an infer job's result blob is a pure
+function of its canonical spec and its train dependency's artefact —
+independent of batch composition (rows decode token-identically solo or
+shared, and per-row seeds derive from each job's own spec, never from
+batch position).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.llm.behavioral import PROFILES
+from repro.llm.tiny_transformer import (TinyTransformerLM,
+                                        TransformerConfig)
+from repro.llm.tokenizer import Tokenizer
+from repro.serve import Job, SpecError, compat_key, validate_spec
+from repro.serve.executor import execute_batch, execute_job
+from repro.train import model_weights_bundle
+
+TRAINED = {"name": "fresh", "job": "job-000001"}
+
+
+def _bundle(seed: int = 0) -> dict:
+    model = TinyTransformerLM(TransformerConfig(
+        vocab_size=48, d_model=16, n_heads=2, n_layers=1, d_ff=32,
+        max_len=24, seed=seed))
+    tokenizer = Tokenizer.train(
+        ["module counter endmodule always begin end wire reg"],
+        vocab_size=48)
+    return model_weights_bundle(model, tokenizer)
+
+
+def _train_blob(name: str = "fresh", bundle: dict | None = None) -> dict:
+    profile = dataclasses.replace(PROFILES["llama2-13b"], name=name,
+                                  display=f"Trained({name})")
+    return {"artifact": {"name": name,
+                         "profile": dataclasses.asdict(profile),
+                         "weights": (bundle if bundle is not None
+                                     else _bundle())}}
+
+
+class TestInferSpec:
+    def test_defaults_are_canonicalised(self):
+        spec = validate_spec("infer", {"prompts": ["module counter"],
+                                       "trained": TRAINED})
+        assert spec == {"prompts": ["module counter"],
+                        "trained": TRAINED, "max_tokens": 32,
+                        "temperature": 0.0, "seed": 0}
+
+    def test_bad_specs_are_rejected(self):
+        good = {"prompts": ["p"], "trained": TRAINED}
+        for broken in ({**good, "prompts": []},
+                       {**good, "prompts": ["p", ""]},
+                       {**good, "prompts": "p"},
+                       {"prompts": ["p"]},                  # no trained
+                       {**good, "trained": {"name": "fresh"}},
+                       {**good, "max_tokens": 0},
+                       {**good, "max_tokens": "8"},
+                       {**good, "temperature": -0.5},
+                       {**good, "temperature": True}):
+            with pytest.raises(SpecError):
+                validate_spec("infer", broken)
+
+    def test_trained_name_cannot_shadow_builtins(self):
+        with pytest.raises(SpecError, match="shadows a built-in"):
+            validate_spec("infer", {"prompts": ["p"],
+                                    "trained": {"name": "ours-13b",
+                                                "job": "job-000001"}})
+
+    def test_compat_key_is_the_train_job(self):
+        def job(seq, trained):
+            return Job(id=f"job-{seq:06d}", seq=seq, kind="infer",
+                       spec=validate_spec(
+                           "infer", {"prompts": ["p"],
+                                     "trained": trained}))
+        same_a = job(2, TRAINED)
+        same_b = job(3, {"name": "other", "job": TRAINED["job"]})
+        other = job(4, {"name": "fresh", "job": "job-000009"})
+        assert compat_key(same_a) == compat_key(same_b)
+        assert compat_key(same_a) != compat_key(other)
+
+
+class TestInferExecution:
+    def test_end_to_end_and_deterministic(self, tmp_path):
+        resolve = {TRAINED["job"]: _train_blob()}.get
+        spec = {"prompts": ["module counter", "always begin"],
+                "trained": TRAINED, "max_tokens": 8,
+                "temperature": 0.9, "seed": 5}
+        blobs = [execute_job("infer", dict(spec), str(tmp_path / w),
+                             resolve=resolve) for w in ("a", "b")]
+        assert blobs[0] == blobs[1]
+        blob = blobs[0]
+        assert blob["kind"] == "infer" and blob["model"] == "fresh"
+        assert len(blob["completions"]) == 2
+        for entry, prompt in zip(blob["completions"], spec["prompts"]):
+            assert entry["prompt"] == prompt
+            assert 0 <= entry["tokens"] <= spec["max_tokens"]
+            assert isinstance(entry["text"], str)
+
+    def test_blob_is_batch_composition_independent(self, tmp_path):
+        """A job decodes the same rows alone or sharing a batch (even
+        with different per-job knobs in the same batch)."""
+        bundle = _bundle(3)
+        resolve = {TRAINED["job"]: _train_blob(bundle=bundle)}.get
+
+        def job(seq, prompts, max_tokens, temperature, seed):
+            return Job(id=f"job-{seq:06d}", seq=seq, kind="infer",
+                       spec=validate_spec(
+                           "infer", {"prompts": prompts,
+                                     "trained": TRAINED,
+                                     "max_tokens": max_tokens,
+                                     "temperature": temperature,
+                                     "seed": seed}))
+        one = job(10, ["module counter begin"], 4, 0.0, 1)
+        two = job(11, ["wire reg always", "end endmodule"], 9, 1.1, 2)
+        merged = execute_batch("infer", [one, two],
+                               str(tmp_path / "merged"),
+                               resolve=resolve)
+        solo = {}
+        for index, shared in enumerate([one, two]):
+            alone = Job(id=shared.id, seq=shared.seq, kind="infer",
+                        spec=dict(shared.spec))
+            result = execute_batch("infer", [alone],
+                                   str(tmp_path / f"solo-{index}"),
+                                   resolve=resolve)
+            solo[shared.id] = result.outcomes[shared.id]
+        for job_id, outcome in merged.outcomes.items():
+            assert outcome.ok
+            assert outcome.blob == solo[job_id].blob
+
+    def test_artifact_without_weights_fails_loudly(self, tmp_path):
+        blob = _train_blob()
+        del blob["artifact"]["weights"]
+        resolve = {TRAINED["job"]: blob}.get
+        with pytest.raises(RuntimeError, match="no weights bundle"):
+            execute_job("infer", {"prompts": ["p"], "trained": TRAINED},
+                        str(tmp_path), resolve=resolve)
+
+    def test_missing_dependency_fails_loudly(self, tmp_path):
+        with pytest.raises(RuntimeError, match="has no result"):
+            execute_job("infer", {"prompts": ["p"], "trained": TRAINED},
+                        str(tmp_path), resolve={}.get)
+
+    def test_wrong_artifact_name_fails_loudly(self, tmp_path):
+        resolve = {TRAINED["job"]: _train_blob(name="other")}.get
+        with pytest.raises(RuntimeError, match="not 'fresh'"):
+            execute_job("infer", {"prompts": ["p"], "trained": TRAINED},
+                        str(tmp_path), resolve=resolve)

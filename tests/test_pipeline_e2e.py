@@ -29,7 +29,7 @@ import pytest
 from repro.llm import unregister_profile
 from repro.serve import (Daemon, Job, Scheduler, ServeClient, SpecError,
                          execute_job, make_server, validate_spec)
-from repro.serve.jobs import DONE, FAILED, QUEUED
+from repro.serve.jobs import CANCELLED, DONE, FAILED, QUEUED
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
@@ -388,6 +388,89 @@ class TestSchedulerDependencies:
     def test_after_round_trips_through_job_dict(self):
         job = _job(5, after=["job-000001", "job-000002"])
         assert Job.from_dict(job.to_dict()).after == job.after
+
+    def test_deep_chain_drains_in_order(self):
+        """A 40-deep ``after`` chain dispatches strictly in dependency
+        order, and the waiter index never re-polls a dependency after
+        observing it done (terminal states are memoised)."""
+        depth = 40
+        states = {f"job-{seq:06d}": QUEUED for seq in range(1, depth + 1)}
+        done_served: set[str] = set()
+
+        def state_fn(job_id: str) -> str | None:
+            assert job_id not in done_served, \
+                f"{job_id} polled again after it resolved done"
+            state = states.get(job_id)
+            if state == DONE:
+                done_served.add(job_id)
+            return state
+
+        scheduler = Scheduler(compat_fn=lambda job: job.id,
+                              state_fn=state_fn)
+        for seq in range(1, depth + 1):
+            after = [f"job-{seq - 1:06d}"] if seq > 1 else []
+            scheduler.submit(_job(seq, after=after))
+        drained = []
+        while True:
+            batch = scheduler.next_batch()
+            if batch is None:
+                break
+            assert len(batch.ids) == 1      # successor is still gated
+            drained.extend(batch.ids)
+            states[batch.ids[0]] = DONE
+            scheduler.finish(batch)
+        assert drained == [f"job-{seq:06d}"
+                           for seq in range(1, depth + 1)]
+        # The index is fully drained: nothing left to poll or dispatch.
+        assert scheduler.next_batch() is None
+        assert scheduler.doomed() == []
+
+    def test_shared_dependency_is_polled_once_for_all_waiters(self):
+        """A fan-out (many jobs after one dependency) resolves every
+        waiter with a single done observation of the shared dep."""
+        states = {"job-000001": QUEUED}
+        polls = {"job-000001": 0}
+
+        def state_fn(job_id: str) -> str | None:
+            polls[job_id] = polls.get(job_id, 0) + 1
+            return states.get(job_id)
+
+        scheduler = Scheduler(compat_fn=lambda job: job.kind,
+                              state_fn=state_fn)
+        for seq in range(2, 8):
+            scheduler.submit(_job(seq, after=["job-000001"]))
+        assert scheduler.next_batch() is None
+        blocked_polls = polls["job-000001"]
+        assert blocked_polls == 1           # one poll, not one per waiter
+        states["job-000001"] = DONE
+        batch = scheduler.next_batch()
+        assert batch is not None and len(batch.ids) == 6
+        assert polls["job-000001"] == blocked_polls + 1
+        scheduler.finish(batch)
+        # Resolved for good: later dispatch attempts poll nothing.
+        scheduler.submit(_job(99))
+        scheduler.next_batch()
+        assert polls["job-000001"] == blocked_polls + 1
+
+    def test_doom_propagates_through_the_chain(self):
+        """Failing a middle dependency dooms the whole downstream chain
+        as the daemon's cancel-and-mark loop walks it."""
+        states = {"job-000001": FAILED}
+        scheduler = Scheduler(compat_fn=lambda job: job.kind,
+                              state_fn=states.get)
+        for seq in (2, 3, 4):
+            scheduler.submit(_job(seq, after=[f"job-{seq - 1:06d}"]))
+        seen = []
+        while True:     # mirror Daemon._fail_doomed_locked
+            doomed = scheduler.doomed()
+            if not doomed:
+                break
+            for job in doomed:
+                seen.append(job.id)
+                scheduler.cancel(job.id)
+                states[job.id] = CANCELLED
+        assert seen == ["job-000002", "job-000003", "job-000004"]
+        assert scheduler.next_batch() is None
 
 
 class TestTrainSpecValidation:
