@@ -1,11 +1,18 @@
-"""Benchmark: training throughput, checkpoint overhead, resume latency.
+"""Benchmark: training throughput, checkpoint overhead, resume, tuning.
 
-Measures sequences/sec through the trainer at ``jobs=1`` vs ``jobs=N``
+Measures sequences/sec through the trainer at ``jobs=1`` vs ``jobs=4``
 (threads and processes — the contract is identical output, so the
-numbers are purely operational), the wall-clock cost per checkpoint
-write, and how quickly a finished run's checkpoint store resumes, then
-writes ``BENCH_train.json`` at the repo root so the training-layer
-trajectory is tracked from PR to PR.
+numbers are purely operational), the explicit speedup ratios, the
+wall-clock cost per checkpoint write, how quickly a finished run's
+checkpoint store resumes, and the throughput under the machine-local
+``repro tune`` winner (the tuner runs here, so ``work/tune.json`` is
+always fresh for this host).  Writes ``BENCH_train.json`` at the repo
+root so the training-layer trajectory is tracked from PR to PR;
+``cpus`` is recorded because parallel speedup is bounded by the
+machine (CI gates on the procs ratio only when cpus > 1).
+
+A ratio below 1.0 prints a loud regression warning: resident workers
+exist precisely so ``--jobs 4`` never loses to serial on multi-core.
 """
 
 import json
@@ -13,11 +20,14 @@ import os
 import time
 
 from repro.core.records import Dataset, Task, make_record
-from repro.train import TrainConfig, train_run
+from repro.train import TrainConfig, load_tuned, save_tuned, \
+    train_run, tune_corpus
+from repro.train.tune import TuneCandidate, machine_cpus
 
 N_RECORDS = 96
-RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
-                           "BENCH_train.json")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_train.json")
+TUNE_PATH = os.path.join(REPO_ROOT, "work", "tune.json")
 
 
 def _dataset() -> Dataset:
@@ -34,9 +44,13 @@ def _dataset() -> Dataset:
 
 
 def _config(**overrides) -> TrainConfig:
-    base = dict(epochs=1, batch_size=8, micro_batch=2, seq_len=48,
-                vocab_size=256, d_model=32, n_heads=2, n_layers=1,
-                d_ff=64, max_records=None, checkpoint_every=0)
+    # Sized so one optimizer step carries real compute and the run has
+    # enough steps to amortize lane startup (fork + one-time weight
+    # ship) — the regime the resident-worker path exists for.  Serial
+    # still finishes in ~1 s.
+    base = dict(epochs=2, batch_size=8, micro_batch=2, seq_len=64,
+                vocab_size=256, d_model=96, n_heads=2, n_layers=1,
+                d_ff=192, max_records=None, checkpoint_every=0)
     base.update(overrides)
     return TrainConfig(**base)
 
@@ -61,6 +75,11 @@ def bench_throughput(dataset) -> dict:
         sequences = report.records * report.epochs
         result[f"seq_per_sec_{label}"] = round(sequences / wall, 1)
         result[f"wall_s_{label}"] = round(wall, 4)
+        result[f"transport_{label}"] = report.transport
+    for label in ("jobs4_threads", "jobs4_procs"):
+        result[f"speedup_{label}"] = round(
+            result[f"seq_per_sec_{label}"]
+            / result["seq_per_sec_jobs1"], 3)
     result["steps"] = report.steps
     return result
 
@@ -72,7 +91,7 @@ def bench_checkpoint_overhead(dataset, root: str) -> dict:
         checkpoint_dir=os.path.join(root, "every-step"))
     writes = report.checkpoints_written
     return {"checkpoint_writes": writes,
-            "checkpoint_overhead_ms": round(
+            "checkpoint_ms_per_write": round(
                 max(checked - plain, 0.0) / max(writes, 1) * 1000, 3)}
 
 
@@ -87,13 +106,57 @@ def bench_cold_resume(dataset, root: str) -> dict:
     return {"cold_resume_s": round(wall, 4)}
 
 
+def bench_tuned(dataset, root: str) -> dict:
+    """Run the autotuner's service-job grid, persist the winner to
+    ``work/tune.json``, and measure the bench dataset under it."""
+    corpus = os.path.join(root, "tune-corpus")
+    os.makedirs(corpus, exist_ok=True)
+    for index in range(4):
+        with open(os.path.join(corpus, f"probe{index}.v"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(
+                f"module probe{index}(input clk, input a, "
+                f"output reg q);\n  always @(posedge clk) "
+                f"q <= a ^ {index % 2};\nendmodule\n")
+    jobs = min(4, max(2, machine_cpus()))
+    grid = [TuneCandidate(1, None, 2, 4),
+            TuneCandidate(jobs, "threads", 2, 4),
+            TuneCandidate(jobs, "procs", 2, 4)]
+    report = tune_corpus([corpus], store_dir=os.path.join(root, "tune"),
+                         grid=grid, max_records=32)
+    save_tuned(report, TUNE_PATH)
+    tuned = load_tuned(TUNE_PATH)
+    assert tuned is not None            # bench consumes the tuner's file
+    run, wall = _timed_run(
+        dataset,
+        _config(micro_batch=tuned["micro_batch"],
+                checkpoint_every=tuned["checkpoint_every"] or 0),
+        jobs=tuned["jobs"], use_threads=tuned["pool"] == "threads")
+    return {"tuned_jobs": tuned["jobs"],
+            "tuned_pool": tuned["pool"] or "serial",
+            "seq_per_sec_tuned": round(
+                run.records * run.epochs / wall, 1)}
+
+
 def run_train_bench(root: str) -> dict:
     dataset = _dataset()
-    result = {"records": len(dataset)}
+    result = {"records": len(dataset), "cpus": machine_cpus()}
     result.update(bench_throughput(dataset))
     result.update(bench_checkpoint_overhead(dataset, root))
     result.update(bench_cold_resume(dataset, root))
+    result.update(bench_tuned(dataset, root))
     return result
+
+
+def _warn_regressions(result: dict) -> list[str]:
+    warnings = []
+    for label in ("jobs4_threads", "jobs4_procs"):
+        ratio = result[f"speedup_{label}"]
+        if ratio < 1.0:
+            warnings.append(
+                f"REGRESSION WARNING: {label} is {ratio:.2f}x jobs1 "
+                f"(< 1.0) on {result['cpus']} cpu(s)")
+    return warnings
 
 
 def test_train_throughput_and_resume(once, benchmark, tmp_path):
@@ -103,5 +166,8 @@ def test_train_throughput_and_resume(once, benchmark, tmp_path):
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print("\n" + json.dumps(result, indent=2, sort_keys=True))
+    for warning in _warn_regressions(result):
+        print(warning)
     assert result["seq_per_sec_jobs1"] > 0
     assert result["cold_resume_s"] > 0
+    assert result["seq_per_sec_tuned"] > 0

@@ -12,8 +12,14 @@ augment → train → evaluate loop.
 * :mod:`checkpoint` — :class:`CheckpointStore`: atomic, digest-verified
   ``checkpoint-<step>.json`` blobs behind a journal-first manifest
   (blob durably on disk *before* the manifest points at it)
-* :mod:`worker`     — module-level micro-batch gradient kernel mapped
-  over :class:`repro.scale.runner.WorkPool` workers
+* :mod:`worker`     — fused flat-buffer gradient kernel plus the
+  resident-worker protocol (weights live in the worker across steps;
+  only schedule slices and gradients cross the pool boundary)
+* :mod:`shm`        — shared-memory gradient mailboxes for fork pools
+  (gradients stop round-tripping through pickle)
+* :mod:`tune`       — ``repro tune``: profile a (jobs, pool,
+  micro_batch, cadence) grid as ordinary service jobs and persist the
+  machine-local winner (``work/tune.json``)
 * :mod:`artifact`   — the trained-model artefact and its derived
   behavioural profile (what ``repro.eval`` scores via ``llm.registry``)
 * :mod:`service`    — :class:`TrainerService`: data-parallel gradient
@@ -33,10 +39,13 @@ from .checkpoint import (CRASH_AFTER_ENV, CRASH_MODE_ENV,
 from .data import (corpus_dataset, dataset_digest, encode_sequences,
                    epoch_plan, stable_seed)
 from .service import TrainConfig, TrainReport, TrainerService, train_run
+from .tune import (TuneCandidate, TuneOutcome, TuneReport, default_grid,
+                   load_tuned, save_tuned, tune_corpus)
 from .weights import (bundle_from_checkpoint, bundle_from_payload,
                       model_from_bundle, model_weights_bundle)
-from .worker import (microbatch_grads, model_state, run_train_chunk,
-                     set_model_state)
+from .worker import (FlatGrads, flat_microbatch_grads, microbatch_grads,
+                     model_state, resident_close, resident_init,
+                     resident_step, run_train_chunk, set_model_state)
 
 __all__ = [
     "TrainConfig", "TrainReport", "TrainerService", "train_run",
@@ -45,7 +54,10 @@ __all__ = [
     "corpus_dataset", "dataset_digest", "encode_sequences", "epoch_plan",
     "stable_seed",
     "run_train_chunk", "microbatch_grads", "model_state",
-    "set_model_state",
+    "set_model_state", "FlatGrads", "flat_microbatch_grads",
+    "resident_init", "resident_step", "resident_close",
+    "TuneCandidate", "TuneOutcome", "TuneReport", "default_grid",
+    "tune_corpus", "save_tuned", "load_tuned",
     "build_artifact", "derive_profile", "TRAIN_ARTIFACT_VERSION",
     "model_weights_bundle", "model_from_bundle", "bundle_from_payload",
     "bundle_from_checkpoint",

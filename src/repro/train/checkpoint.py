@@ -28,7 +28,9 @@ import base64
 import hashlib
 import json
 import os
+import queue
 import signal
+import threading
 
 import numpy as np
 
@@ -186,3 +188,60 @@ class CheckpointStore:
             except ValueError:
                 continue
         return None
+
+
+class AsyncCheckpointWriter:
+    """Overlap checkpoint encode+write with training compute.
+
+    The hot path hands over a *snapshot* — raw array copies, the only
+    part that must happen synchronously so the state can keep mutating
+    — and a single writer thread does the expensive part (base64/JSON
+    encoding plus :meth:`CheckpointStore.save`) while the next steps
+    run.  Commit order is queue order, so the journal-first discipline
+    of the store is untouched: blobs still land before their manifest
+    entries, in step order.
+
+    A failed write is re-raised on the *next* :meth:`submit` (or on
+    :meth:`close`): the trainer never runs more than ``maxsize`` steps
+    past an unreported checkpoint failure.  :meth:`close` drains the
+    queue — callers rely on that barrier before reading
+    ``store.writes`` or treating the final checkpoint as durable.
+    """
+
+    def __init__(self, store: CheckpointStore, maxsize: int = 2):
+        self.store = store
+        self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="ckpt-writer", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            step, encode = job
+            try:
+                self.store.save(step, encode())
+            except BaseException as exc:       # noqa: BLE001 - re-raised
+                self._error = exc
+
+    def _check(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def submit(self, step: int, encode) -> None:
+        """Queue one checkpoint: ``encode()`` runs on the writer thread
+        and must close over state that no longer mutates (a snapshot)."""
+        self._check()
+        self._queue.put((step, encode))
+
+    def close(self) -> None:
+        """Drain pending writes and stop the thread; raises the first
+        unreported write error.  Idempotent."""
+        if self._thread.is_alive():
+            self._queue.put(None)
+            self._thread.join()
+        self._check()

@@ -1,9 +1,9 @@
-"""The checkpointed, data-parallel trainer.
+"""The checkpointed, data-parallel trainer (resident-worker edition).
 
 **Determinism contract.**  A run's loss curve and final weights are a
 pure function of ``(dataset, TrainConfig)`` — never of ``jobs``,
-thread vs process pools, checkpoint cadence, or how many SIGKILL-and-
-resume cycles it survived.  Three mechanisms enforce this:
+thread vs process pools, checkpoint cadence, transport, or how many
+SIGKILL-and-resume cycles it survived.  Three mechanisms enforce this:
 
 1. the epoch/batch schedule is a pure function of the dataset digest
    and config (:func:`repro.train.data.epoch_plan`);
@@ -16,6 +16,20 @@ resume cycles it survived.  Three mechanisms enforce this:
    lossless encoding, so a resumed run replays the remaining steps
    with bit-identical inputs (:mod:`repro.train.checkpoint`).
 
+**The parallel hot path** is :class:`_StepRunner`.  ``jobs=1`` runs the
+fused inline kernel (one preallocated gradient buffer, zero copies).
+``jobs>1`` keeps a *resident* replica on every worker lane: weights
+ship once at session start, each optimizer step crosses the boundary
+as (previous step's reduced gradient to replay, this step's schedule
+slices) in and per-micro-batch gradients out — via shared-memory
+mailboxes on fork pools (:mod:`repro.train.shm`), so the steady state
+pickles only index/loss/count tuples.  Replicas stay bit-identical to
+the service model by replaying the identical Adam update from the
+identical reduced-gradient bytes; a state-digest handshake every
+``digest_every`` steps proves it at runtime.  Checkpoint encode+write
+runs on an overlapped writer thread (journal-first order preserved) so
+the step loop never waits on serialization.
+
 Proven by ``tests/test_train_service.py`` (property + SIGKILL
 harness).
 """
@@ -23,7 +37,9 @@ harness).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -35,12 +51,14 @@ from ..llm.tokenizer import Tokenizer
 from ..llm.trainer import evaluate_transformer, records_to_text, \
     split_dataset
 from ..scale.runner import WorkPool
-from .checkpoint import (TRAIN_FORMAT_VERSION, CheckpointStore,
-                         decode_array, encode_array, state_digest)
+from .checkpoint import (TRAIN_FORMAT_VERSION, AsyncCheckpointWriter,
+                         CheckpointStore, decode_array, encode_array,
+                         state_digest)
 from .data import dataset_digest, encode_sequences, epoch_plan
+from .shm import open_channel_group
 from .weights import model_weights_bundle
-from .worker import microbatch_grads, model_state, run_train_chunk, \
-    set_model_state
+from .worker import FlatGrads, flat_microbatch_grads, model_state, \
+    resident_close, resident_init, resident_step, set_model_state
 
 
 @dataclass
@@ -97,9 +115,10 @@ class TrainReport:
     """What one (possibly resumed) run produced.
 
     Only spec-pure fields belong in service result blobs:
-    ``resumed_steps``/``checkpoints_written`` describe *this
-    invocation* and differ between a fresh and a resumed run even
-    though the trained weights are identical.
+    ``resumed_steps``/``checkpoints_written``/``transport``/
+    ``replica_checks`` describe *this invocation* and differ between a
+    fresh and a resumed run (or between pool types) even though the
+    trained weights are identical.
     """
 
     steps: int = 0
@@ -114,6 +133,12 @@ class TrainReport:
     jobs: int = 1
     resumed_steps: int = 0
     checkpoints_written: int = 0
+    #: How gradients crossed the pool boundary: ``inline`` (no pool),
+    #: ``local`` (thread lanes, shared arrays), ``shm`` (process lanes,
+    #: shared memory), ``pickle`` (process lanes, fallback).
+    transport: str = "inline"
+    #: Digest handshakes that confirmed worker replicas bit-identical.
+    replica_checks: int = 0
     #: Portable weights bundle (see :mod:`repro.train.weights`) — a
     #: pure function of the trained weights + tokenizer, embedded in
     #: artifacts so inference/eval need no filesystem access.
@@ -134,79 +159,240 @@ class TrainReport:
                 f"{self.weights_sha256[:12]}")
 
 
+#: Per-process counter distinguishing resident sessions (a long-lived
+#: process — tests, the daemon — may run many trainings).
+_SESSION_IDS = itertools.count()
+
+
+class _StepRunner:
+    """Owns one run's optimizer-step machinery.
+
+    * ``jobs=1`` (or single-micro-batch schedules): the fused inline
+      kernel — every ``param.grad`` is a view into one flat buffer
+      (:class:`~repro.train.worker.FlatGrads`), so a step is
+      zero-the-buffer → backward → weighted accumulate, no per-param
+      loops or copies.
+    * ``jobs>1``: resident lanes.  Lanes are provisioned lazily on the
+      first parallel step (:meth:`WorkPool.ensure_slots` — one
+      single-worker executor per lane, so lane ``c`` is always the
+      same OS thread/process), weights+Adam state ship once
+      (:func:`resident_init`, digest-acknowledged), then every step is
+      one :meth:`WorkPool.slot_map` round of :func:`resident_step`.
+      Idle lanes (steps with fewer micro-batches than lanes) still
+      receive apply-only payloads so no replica misses an update.
+
+    The reduction is identical float arithmetic in both modes:
+    ``acc += count * grad`` in micro-batch index order, then one
+    divide into the flat buffer, then ``optimizer.step()``.
+    """
+
+    def __init__(self, model: TinyTransformerLM, optimizer: Adam,
+                 cfg_blob: dict, pool: WorkPool, jobs: int,
+                 use_threads: bool, max_micros: int, digest_every: int):
+        self.model = model
+        self.optimizer = optimizer
+        self.cfg_blob = cfg_blob
+        self.pool = pool
+        self.use_threads = use_threads
+        self.digest_every = max(0, digest_every)
+        self.grads = FlatGrads(model)
+        self.acc = np.zeros(self.grads.size)
+        self.width = min(jobs, max_micros) if jobs > 1 else 1
+        self.rows = -(-max_micros // self.width)
+        self.transport = "inline"
+        self.replica_checks = 0
+        self.session: str | None = None
+        self.group = None
+        self._pending = False       # lanes owe a replay of grads.flat
+        self._lane_steps = 0
+
+    # -- shared reduction tail --------------------------------------------
+
+    def _apply(self, total: int) -> None:
+        """Divide the accumulated gradient and step the optimizer."""
+        np.divide(self.acc, total, out=self.grads.flat)
+        self.optimizer.step()
+
+    def _digest(self) -> str:
+        return state_digest([p.value for p in self.model.params()])
+
+    # -- inline (jobs == 1) -----------------------------------------------
+
+    def _inline_step(self, micros: list) -> float:
+        self.acc[...] = 0.0
+        loss_sum, total = 0.0, 0
+        for ids, targets in micros:
+            loss, count = flat_microbatch_grads(self.model, self.grads,
+                                                ids, targets)
+            loss_sum += loss * count
+            total += count
+            self.acc += count * self.grads.flat
+        self._apply(total)
+        return loss_sum / total
+
+    # -- resident lanes (jobs > 1) ----------------------------------------
+
+    def _start_lanes(self) -> None:
+        self.width = self.pool.ensure_slots(self.width)
+        self.session = f"train-{os.getpid()}-{next(_SESSION_IDS)}"
+        self.group = open_channel_group(self.width, self.rows,
+                                        self.grads.size,
+                                        self.use_threads)
+        self.transport = (self.group.kind if self.group is not None
+                          else "pickle")
+        state = model_state(self.model)
+        params = self.model.params()
+        base = {"session": self.session, "parent": os.getpid(),
+                "config": self.cfg_blob,
+                "state": state,
+                "adam_m": [p.m for p in params],
+                "adam_v": [p.v for p in params],
+                "adam_step": self.optimizer.step_count,
+                "lr": self.optimizer.lr,
+                "betas": (self.optimizer.beta1, self.optimizer.beta2),
+                "eps": self.optimizer.eps}
+        payloads = {slot: {**base, "slot": slot,
+                           "channel": (self.group.specs[slot]
+                                       if self.group is not None
+                                       else None)}
+                    for slot in range(self.width)}
+        acks = self.pool.slot_map(resident_init, payloads)
+        expected = self._digest()
+        for slot, ack in acks.items():
+            if ack != expected:
+                raise RuntimeError(
+                    f"resident lane {slot} installed state {ack[:12]} "
+                    f"!= service {expected[:12]}")
+        self.replica_checks += 1
+
+    def _lane_step(self, micros: list) -> float:
+        if self.session is None:
+            self._start_lanes()
+        n = len(micros)
+        self._lane_steps += 1
+        want_digest = bool(
+            self._pending and self.digest_every
+            and self._lane_steps % self.digest_every == 0)
+        expected = self._digest() if want_digest else None
+        grad_blob = None
+        in_channel = False
+        if self._pending:
+            # grads.flat still holds the previous step's reduced
+            # gradient (nothing wrote it since the last _apply).
+            if self.group is not None:
+                self.group.bcast[...] = self.grads.flat
+                in_channel = True
+            else:
+                grad_blob = self.grads.flat.copy()
+        bounds = [round(i * n / self.width)
+                  for i in range(self.width + 1)]
+        payloads = {}
+        for lane in range(self.width):
+            chunk = [(i, micros[i][0], micros[i][1])
+                     for i in range(bounds[lane], bounds[lane + 1])]
+            payload = {"session": self.session, "slot": lane,
+                       "micros": chunk, "want_digest": want_digest,
+                       "grad_in_channel": in_channel}
+            if grad_blob is not None:
+                payload["grad"] = grad_blob
+            payloads[lane] = payload
+        outs = self.pool.slot_map(resident_step, payloads)
+        if want_digest:
+            for lane, out in outs.items():
+                if out.get("digest") != expected:
+                    raise RuntimeError(
+                        f"replica drift on lane {lane}: "
+                        f"{str(out.get('digest'))[:12]} != service "
+                        f"{expected[:12]} after step {self._lane_steps}")
+            self.replica_checks += 1
+        table: dict[int, tuple[float, int, np.ndarray]] = {}
+        for lane, out in outs.items():
+            pickled = out.get("grads")
+            for pos, (index, row, loss, count) in \
+                    enumerate(out["micros"]):
+                vec = (self.group.outs[lane][row]
+                       if self.group is not None else pickled[pos])
+                table[index] = (loss, count, vec)
+        self.acc[...] = 0.0
+        loss_sum, total = 0.0, 0
+        for index in range(n):          # canonical reduction order
+            loss, count, vec = table[index]
+            loss_sum += loss * count
+            total += count
+            self.acc += count * vec
+        self._apply(total)
+        self._pending = True
+        return loss_sum / total
+
+    # -- public -----------------------------------------------------------
+
+    def step(self, micros: list) -> float:
+        """One optimizer step over one macro-batch's micro-batches."""
+        if self.width <= 1:
+            return self._inline_step(micros)
+        return self._lane_step(micros)
+
+    def shutdown(self) -> None:
+        """Tear down lanes + transport.  Safe to call on any failure."""
+        if self.session is not None:
+            payloads = {lane: {"session": self.session, "slot": lane}
+                        for lane in range(self.width)}
+            try:
+                self.pool.slot_map(resident_close, payloads)
+            except Exception:
+                pass            # broken pool: workers die with it
+            self.session = None
+        if self.group is not None:
+            self.group.close()
+            self.group = None
+
+
 class TrainerService:
-    """Run finetuning with checkpoints, resume, and a worker pool."""
+    """Run finetuning with checkpoints, resume, and resident workers."""
 
     def __init__(self, config: TrainConfig | None = None, jobs: int = 1,
                  use_threads: bool = False,
-                 checkpoint_dir: str | None = None):
+                 checkpoint_dir: str | None = None,
+                 digest_every: int = 16):
         self.config = config or TrainConfig()
         self.config.validate()
         self.jobs = max(1, jobs)
         self.use_threads = use_threads
         self.checkpoint_dir = checkpoint_dir
-
-    # -- one optimizer step ----------------------------------------------
-
-    def _step(self, model: TinyTransformerLM, optimizer: Adam,
-              micros: list, cfg_blob: dict, pool: WorkPool) -> float:
-        """Accumulate one macro-batch's gradients and step.
-
-        Micro-batches may run anywhere; the reduction below walks them
-        in index order so the summed gradient (and the returned
-        token-weighted loss) is byte-identical for any ``jobs``.
-        ``pool`` is the run's persistent :class:`WorkPool` — one
-        executor spans every step, so ``jobs > 1`` pays pool spawn once
-        per run, not once per step.
-        """
-        n = len(micros)
-        if self.jobs == 1 or n == 1:
-            results = {index: microbatch_grads(model, ids, targets)
-                       for index, (ids, targets) in enumerate(micros)}
-        else:
-            state = model_state(model)
-            width = min(self.jobs, n)
-            bounds = [round(i * n / width) for i in range(width + 1)]
-            chunks = {c: (state, cfg_blob,
-                          [(i, micros[i][0], micros[i][1])
-                           for i in range(bounds[c], bounds[c + 1])])
-                      for c in range(width) if bounds[c] < bounds[c + 1]}
-            results = {}
-            for part in pool.map(run_train_chunk, chunks).values():
-                results.update(part)
-        params = model.params()
-        acc = [np.zeros_like(param.value) for param in params]
-        loss_sum = 0.0
-        total = 0
-        for index in range(n):              # canonical reduction order
-            loss, count, grads = results[index]
-            loss_sum += loss * count
-            total += count
-            for slot, grad in zip(acc, grads):
-                slot += count * grad
-        for param, slot in zip(params, acc):
-            param.grad[...] = slot / total
-        optimizer.step()
-        return loss_sum / total
+        #: Replica-digest handshake cadence in lane steps (0 = only the
+        #: init handshake).  Operational only — never affects output —
+        #: so it lives on the service, not in the fingerprint.
+        self.digest_every = digest_every
 
     # -- checkpoint plumbing ---------------------------------------------
 
     @staticmethod
-    def _payload(model: TinyTransformerLM, optimizer: Adam,
-                 steps_done: int, val_done: int, losses: list[float],
-                 val_losses: list[float], cfg_blob: dict,
-                 tokenizer: Tokenizer) -> dict:
+    def _snapshot(model: TinyTransformerLM, optimizer: Adam,
+                  steps_done: int, val_done: int, losses: list[float],
+                  val_losses: list[float], cfg_blob: dict,
+                  tokenizer: Tokenizer) -> dict:
+        """Raw-array state capture — the only synchronous part of a
+        checkpoint.  Cheap (array copies), so the step loop can keep
+        mutating the live state while the writer thread encodes."""
         params = model.params()
         return {"steps_done": steps_done, "val_done": val_done,
                 "losses": list(losses), "val_losses": list(val_losses),
-                "params": [encode_array(p.value) for p in params],
-                "adam_m": [encode_array(p.m) for p in params],
-                "adam_v": [encode_array(p.v) for p in params],
+                "params": [p.value.copy() for p in params],
+                "adam_m": [p.m.copy() for p in params],
+                "adam_v": [p.v.copy() for p in params],
                 "adam_step": optimizer.step_count,
                 # Inference handoff: enough to rebuild model + tokenizer
                 # straight from a checkpoint (repro.train.weights).
                 "model_config": dict(cfg_blob),
                 "tokenizer": list(tokenizer.inverse)}
+
+    @staticmethod
+    def _encode(snapshot: dict) -> dict:
+        """Writer-thread half: lossless-encode a :meth:`_snapshot`."""
+        payload = dict(snapshot)
+        for key in ("params", "adam_m", "adam_v"):
+            payload[key] = [encode_array(a) for a in snapshot[key]]
+        return payload
 
     @staticmethod
     def _restore(model: TinyTransformerLM, optimizer: Adam,
@@ -252,6 +438,7 @@ class TrainerService:
         optimizer = Adam(model.params(), lr=config.lr)
 
         store = None
+        writer: AsyncCheckpointWriter | None = None
         done_steps = 0
         val_done = 0
         losses: list[float] = []
@@ -272,45 +459,63 @@ class TrainerService:
                 resumed_steps = done_steps
 
         def save(step: int) -> None:
-            if store is not None:
-                store.save(step, self._payload(model, optimizer, step,
-                                               val_done, losses,
-                                               val_losses, cfg_blob,
-                                               tokenizer))
+            # Hot path: snapshot only.  Encode + journal-first commit
+            # happen on the writer thread, overlapped with compute.
+            nonlocal writer
+            if store is None:
+                return
+            snapshot = self._snapshot(model, optimizer, step, val_done,
+                                      losses, val_losses, cfg_blob,
+                                      tokenizer)
+            if writer is None:
+                # Created lazily *after* worker lanes forked (the first
+                # step precedes the first save), so fork pools never
+                # inherit a live writer thread.
+                writer = AsyncCheckpointWriter(store)
+            writer.submit(step, lambda snap=snapshot: self._encode(snap))
 
         global_step = 0
         executed = 0
         completed = True
+        max_micros = -(-config.batch_size // config.micro_batch)
         with WorkPool(jobs=self.jobs,
                       use_threads=self.use_threads) as pool:
-            for epoch in range(config.epochs):
-                plan = epoch_plan(sequences, digest, config.seed, epoch,
-                                  config.batch_size, config.micro_batch,
-                                  config.seq_len, tokenizer.pad_id)
-                for micros in plan:
-                    global_step += 1
-                    if global_step <= done_steps:
-                        continue    # replayed from the checkpoint
-                    losses.append(self._step(model, optimizer, micros,
-                                             cfg_blob, pool))
-                    done_steps = global_step
-                    executed += 1
-                    if (config.checkpoint_every
-                            and global_step % config.checkpoint_every
-                            == 0):
-                        save(global_step)
-                    if (stop_after_steps is not None
-                            and executed >= stop_after_steps):
-                        completed = False
+            runner = _StepRunner(model, optimizer, cfg_blob, pool,
+                                 self.jobs, self.use_threads,
+                                 max_micros, self.digest_every)
+            try:
+                for epoch in range(config.epochs):
+                    plan = epoch_plan(sequences, digest, config.seed,
+                                      epoch, config.batch_size,
+                                      config.micro_batch,
+                                      config.seq_len, tokenizer.pad_id)
+                    for micros in plan:
+                        global_step += 1
+                        if global_step <= done_steps:
+                            continue    # replayed from the checkpoint
+                        losses.append(runner.step(micros))
+                        done_steps = global_step
+                        executed += 1
+                        if (config.checkpoint_every
+                                and global_step
+                                % config.checkpoint_every == 0):
+                            save(global_step)
+                        if (stop_after_steps is not None
+                                and executed >= stop_after_steps):
+                            completed = False
+                            break
+                    if not completed:
                         break
-                if not completed:
-                    break
-                if epoch + 1 > val_done:
-                    val_losses.append(evaluate_transformer(
-                        model, val_sequences, tokenizer.pad_id,
-                        config.seq_len))
-                    val_done = epoch + 1
+                    if epoch + 1 > val_done:
+                        val_losses.append(evaluate_transformer(
+                            model, val_sequences, tokenizer.pad_id,
+                            config.seq_len))
+                        val_done = epoch + 1
+            finally:
+                runner.shutdown()
         save(done_steps)            # final (or interruption) checkpoint
+        if writer is not None:
+            writer.close()          # durability barrier before report
         return TrainReport(
             steps=done_steps, epochs=val_done, records=len(capped),
             trained_tokens=sum(len(s) for s in sequences),
@@ -319,14 +524,18 @@ class TrainerService:
             dataset_digest=digest, completed=completed, jobs=self.jobs,
             resumed_steps=resumed_steps,
             checkpoints_written=store.writes if store else 0,
+            transport=runner.transport,
+            replica_checks=runner.replica_checks,
             weights_bundle=model_weights_bundle(model, tokenizer))
 
 
 def train_run(dataset: Dataset, config: TrainConfig | None = None,
               jobs: int = 1, use_threads: bool = False,
               checkpoint_dir: str | None = None,
-              stop_after_steps: int | None = None) -> TrainReport:
+              stop_after_steps: int | None = None,
+              digest_every: int = 16) -> TrainReport:
     """One-shot convenience wrapper around :class:`TrainerService`."""
     service = TrainerService(config, jobs=jobs, use_threads=use_threads,
-                             checkpoint_dir=checkpoint_dir)
+                             checkpoint_dir=checkpoint_dir,
+                             digest_every=digest_every)
     return service.run(dataset, stop_after_steps=stop_after_steps)

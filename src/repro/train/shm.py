@@ -1,0 +1,157 @@
+"""Shared-memory gradient transport for resident training workers.
+
+When micro-batch gradients cross a process boundary every optimizer
+step, pickling them (base-64 of raw tensor bytes through the executor's
+result queue) dominates the step.  This module gives each resident
+worker *lane* a pair of preallocated float64 mailboxes instead:
+
+* ``bcast``   — one block shared by every lane; the service writes the
+  step's reduced gradient there once and each worker replays the
+  optimizer update from it (see :mod:`repro.train.worker`).
+* ``out[s]``  — one block per lane ``s``, laid out as ``(rows, size)``;
+  the worker stores each micro-batch's flat gradient in its own row and
+  only ``(index, row, loss, count)`` tuples travel through pickle.
+
+The transport is purely operational: the same float64 values cross the
+boundary either way, so loss curves and weights are byte-identical to
+the pickle fallback (and to ``jobs=1``).  Three backends:
+
+* ``local`` — plain numpy arrays, for thread pools (same process).
+* ``shm``   — :mod:`multiprocessing.shared_memory` blocks, for process
+  pools.  Workers attach by name; the service owns the lifetime and
+  unlinks on close.
+* pickle fallback — when shared memory is unavailable (exotic
+  platforms, permission-locked ``/dev/shm``), ``open_channel_group``
+  returns ``None`` and the worker protocol ships gradients in the
+  payloads/results instead.
+
+Ordering is free of torn reads by construction: the service writes
+``bcast`` strictly before dispatching a step and reads ``out`` rows
+strictly after every lane's future resolved; workers touch the blocks
+only inside their step call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+try:                            # pragma: no cover - import probe
+    from multiprocessing import shared_memory
+except ImportError:             # pragma: no cover - exotic platforms
+    shared_memory = None
+
+
+@dataclass
+class GradChannel:
+    """One lane's view of the transport: ``bcast`` in, ``out`` rows out."""
+
+    bcast: np.ndarray
+    out: np.ndarray
+    _shms: tuple = ()
+
+    def close(self) -> None:
+        """Drop this process's mappings (the service unlinks)."""
+        self.bcast = None
+        self.out = None
+        for shm in self._shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._shms = ()
+
+
+@dataclass
+class ChannelGroup:
+    """Service-side ownership of every lane's blocks for one run."""
+
+    bcast: np.ndarray
+    outs: list[np.ndarray]
+    specs: list[dict]
+    kind: str = "local"
+    _shms: list = field(default_factory=list)
+
+    def close(self) -> None:
+        """Release and (for shm) unlink every block.  Idempotent."""
+        self.bcast = None
+        self.outs = []
+        for shm in self._shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._shms = []
+
+
+def open_channel_group(width: int, rows: int, size: int,
+                       use_threads: bool) -> ChannelGroup | None:
+    """Allocate transport for ``width`` lanes of ``rows`` micro-batches.
+
+    Returns ``None`` when no zero-copy transport exists for the pool
+    type (process pools without working shared memory) — callers fall
+    back to pickled gradients, which is slower but identical in output.
+    """
+    rows = max(1, rows)
+    if use_threads:
+        bcast = np.zeros(size)
+        outs = [np.zeros((rows, size)) for _ in range(width)]
+        specs = [{"kind": "local", "bcast": bcast, "out": out}
+                 for out in outs]
+        return ChannelGroup(bcast=bcast, outs=outs, specs=specs,
+                            kind="local")
+    if shared_memory is None:
+        return None
+    shms = []
+    try:
+        bcast_shm = shared_memory.SharedMemory(create=True, size=size * 8)
+        shms.append(bcast_shm)
+        bcast = np.ndarray((size,), dtype=np.float64,
+                           buffer=bcast_shm.buf)
+        bcast[...] = 0.0
+        outs, specs = [], []
+        for _ in range(width):
+            out_shm = shared_memory.SharedMemory(create=True,
+                                                 size=rows * size * 8)
+            shms.append(out_shm)
+            out = np.ndarray((rows, size), dtype=np.float64,
+                             buffer=out_shm.buf)
+            out[...] = 0.0
+            outs.append(out)
+            specs.append({"kind": "shm", "bcast": bcast_shm.name,
+                          "out": out_shm.name, "rows": rows,
+                          "size": size})
+    except (OSError, ValueError):
+        for shm in shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        return None
+    return ChannelGroup(bcast=bcast, outs=outs, specs=specs, kind="shm",
+                        _shms=shms)
+
+
+def attach_channel(spec: dict | None) -> GradChannel | None:
+    """Worker-side view of a lane's transport (``None`` = pickle)."""
+    if spec is None:
+        return None
+    if spec["kind"] == "local":
+        return GradChannel(bcast=spec["bcast"], out=spec["out"])
+    # Fork-pool workers share the parent's resource tracker, so the
+    # attach-side register is idempotent with the parent's create-side
+    # one; the parent's close()+unlink() retires the name exactly once.
+    bcast_shm = shared_memory.SharedMemory(name=spec["bcast"])
+    out_shm = shared_memory.SharedMemory(name=spec["out"])
+    bcast = np.ndarray((spec["size"],), dtype=np.float64,
+                       buffer=bcast_shm.buf)
+    out = np.ndarray((spec["rows"], spec["size"]), dtype=np.float64,
+                     buffer=out_shm.buf)
+    return GradChannel(bcast=bcast, out=out,
+                       _shms=(bcast_shm, out_shm))

@@ -1,0 +1,312 @@
+"""``repro tune`` — machine-local autotuning for the trainer.
+
+In the spirit of NeMo's pretraining autotuner: generate a small grid of
+(jobs, pool type, micro_batch, checkpoint cadence) candidates, run a
+short profiling slice for each, and persist the winner so every later
+``repro train`` / ``bench_train`` starts from the fastest known
+configuration *for this machine* — core count, fork cost, and /dev/shm
+behaviour differ per host, so the right pool is an empirical question.
+
+The profiling slices are **ordinary service jobs**: each candidate is a
+normalised ``train`` job submitted to a :class:`~repro.serve.store
+.JobStore`, dispatched by the :class:`~repro.serve.scheduler.Scheduler`
+and executed through :func:`~repro.serve.executor.execute_batch` — the
+exact code path the daemon runs, so a tuned config is measured under
+real service conditions (spec normalisation, checkpoint stores, the
+shared augment shard cache).  A warm-up ``augment`` job runs first so
+corpus augmentation is charged once, not to the first candidate.
+
+Output knobs vs operational knobs: ``micro_batch`` changes gradient
+grouping and therefore the trained weights (it is part of the config
+fingerprint); ``jobs``/``pool``/``checkpoint_every`` must not change
+anything.  The tuner *verifies* that on its own results — candidates
+with equal ``micro_batch`` must report byte-identical weights digests,
+or tuning aborts rather than recommend a config that broke
+determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass, field
+
+from ..core.records import atomic_write_text
+
+#: Environment override for where the tuned config lives.
+TUNE_CONFIG_ENV = "REPRO_TUNE_CONFIG"
+
+#: Default machine-local location ``repro train``/benchmarks consult.
+DEFAULT_TUNE_PATH = os.path.join("work", "tune.json")
+
+TUNE_FORMAT_VERSION = 1
+
+
+def machine_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One grid point: an operational config to profile."""
+
+    jobs: int = 1
+    pool: str | None = None         # None = serial; "threads" | "procs"
+    micro_batch: int = 2
+    checkpoint_every: int = 4
+
+    def label(self) -> str:
+        pool = self.pool or "serial"
+        return (f"jobs={self.jobs} pool={pool} "
+                f"micro_batch={self.micro_batch} "
+                f"ckpt={self.checkpoint_every}")
+
+
+@dataclass
+class TuneOutcome:
+    """One candidate's measured profile slice."""
+
+    candidate: TuneCandidate
+    job_id: str
+    ok: bool
+    seconds: float = 0.0
+    seq_per_sec: float = 0.0
+    steps: int = 0
+    weights_sha256: str = ""
+    error: str | None = None
+
+
+@dataclass
+class TuneReport:
+    """Every outcome plus the winning config."""
+
+    outcomes: list[TuneOutcome] = field(default_factory=list)
+    best: TuneOutcome | None = None
+    cpus: int = 1
+
+    def to_blob(self) -> dict:
+        """The persisted ``work/tune.json`` shape."""
+        best = self.best
+        return {
+            "version": TUNE_FORMAT_VERSION,
+            "cpus": self.cpus,
+            "config": None if best is None else {
+                "jobs": best.candidate.jobs,
+                "pool": best.candidate.pool,
+                "micro_batch": best.candidate.micro_batch,
+                "checkpoint_every": best.candidate.checkpoint_every,
+            },
+            "seq_per_sec": None if best is None else best.seq_per_sec,
+            "candidates": [
+                {**asdict(out.candidate), "job": out.job_id,
+                 "ok": out.ok, "seconds": round(out.seconds, 4),
+                 "seq_per_sec": round(out.seq_per_sec, 2),
+                 "weights_sha256": out.weights_sha256,
+                 "error": out.error}
+                for out in self.outcomes],
+        }
+
+
+def default_grid(max_jobs: int | None = None,
+                 micro_batches: Sequence[int] = (1, 2),
+                 cadence: int = 4) -> list[TuneCandidate]:
+    """The stock grid: serial vs thread vs process lanes, per
+    micro-batch size, plus a checkpoint-cadence probe on the serial
+    baseline (cadence is output-invariant, so one probe suffices)."""
+    if max_jobs is None:
+        max_jobs = min(4, max(2, machine_cpus()))
+    grid: list[TuneCandidate] = []
+    for micro in micro_batches:
+        grid.append(TuneCandidate(1, None, micro, cadence))
+        if max_jobs > 1:
+            grid.append(TuneCandidate(max_jobs, "threads", micro,
+                                      cadence))
+            grid.append(TuneCandidate(max_jobs, "procs", micro, cadence))
+    grid.append(TuneCandidate(1, None, micro_batches[0], 0))
+    return grid
+
+
+def _probe_spec(paths: list[str], candidate: TuneCandidate, *,
+                epochs: int, batch_size: int, seq_len: int,
+                vocab_size: int, d_model: int, max_records: int,
+                seed: int) -> dict:
+    """A short-slice train spec for one candidate (normalised at
+    submit time by ``validate_spec``, like any service job)."""
+    return {"paths": list(paths), "seed": seed,
+            "register_as": "tune-probe",
+            "epochs": epochs, "batch_size": batch_size,
+            "micro_batch": candidate.micro_batch,
+            "seq_len": seq_len, "vocab_size": vocab_size,
+            "d_model": d_model, "max_records": max_records,
+            "checkpoint_every": candidate.checkpoint_every,
+            "pool": candidate.pool,
+            "pool_jobs": (None if candidate.jobs <= 1
+                          else candidate.jobs)}
+
+
+def tune_corpus(paths: list[str], store_dir: str | None = None,
+                grid: Sequence[TuneCandidate] | None = None, *,
+                epochs: int = 1, batch_size: int = 8, seq_len: int = 32,
+                vocab_size: int = 192, d_model: int = 16,
+                max_records: int = 48, seed: int = 0,
+                log: Callable[[str], None] | None = None) -> TuneReport:
+    """Profile every grid candidate as a service job; pick the fastest.
+
+    ``store_dir`` hosts the job store + workdir for this tuning session
+    (default: a fresh temp dir, so candidate checkpoints can never
+    resume across sessions and inflate a timing).
+    """
+    from ..serve.executor import execute_batch
+    from ..serve.jobs import validate_spec
+    from ..serve.scheduler import Scheduler
+    from ..serve.store import JobStore
+
+    if store_dir is None:
+        store_dir = tempfile.mkdtemp(prefix="repro-tune-")
+    grid = list(grid) if grid is not None else default_grid()
+    if not grid:
+        raise ValueError("empty tuning grid")
+    say = log or (lambda message: None)
+    store = JobStore(os.path.join(store_dir, "store"))
+    workdir = os.path.join(store_dir, "work")
+    report = TuneReport(cpus=machine_cpus())
+    try:
+        scheduler = Scheduler(
+            state_fn=lambda job_id: (store.jobs[job_id].state
+                                     if job_id in store.jobs else None))
+        # Warm the shared augment shard cache through the same
+        # machinery, so augmentation cost lands on this job instead of
+        # skewing the first candidate's timing.
+        warm = store.submit(
+            "augment",
+            validate_spec("augment", {"paths": list(paths),
+                                      "seed": seed}))
+        scheduler.submit(warm)
+        candidates: dict[str, TuneCandidate] = {}
+        for candidate in grid:
+            # Normalised at submit time, like any daemon submission —
+            # the journal only ever holds runnable specs.
+            job = store.submit(
+                "train",
+                validate_spec(
+                    "train",
+                    _probe_spec(paths, candidate, epochs=epochs,
+                                batch_size=batch_size, seq_len=seq_len,
+                                vocab_size=vocab_size, d_model=d_model,
+                                max_records=max_records, seed=seed)),
+                after=[warm.id])
+            scheduler.submit(job)
+            candidates[job.id] = candidate
+        while True:
+            batch = scheduler.next_batch()
+            if batch is None:
+                break
+            for job in batch.jobs:
+                store.mark_running(job.id)
+            start = time.perf_counter()
+            result = execute_batch(batch.kind, batch.jobs, workdir,
+                                   engine_jobs=1, resolve=store.result)
+            elapsed = time.perf_counter() - start
+            for job in batch.jobs:
+                outcome = result.outcomes[job.id]
+                if outcome.ok:
+                    store.mark_done(job.id, outcome.blob)
+                else:
+                    store.mark_failed(job.id, outcome.error or "failed")
+                if job.id not in candidates:
+                    continue        # the augment warm-up
+                candidate = candidates[job.id]
+                if outcome.ok:
+                    steps = int(outcome.blob["steps"])
+                    rate = (steps * batch_size / elapsed
+                            if elapsed > 0 else 0.0)
+                    out = TuneOutcome(
+                        candidate=candidate, job_id=job.id, ok=True,
+                        seconds=elapsed, seq_per_sec=rate, steps=steps,
+                        weights_sha256=outcome.blob["weights_sha256"])
+                else:
+                    out = TuneOutcome(candidate=candidate,
+                                      job_id=job.id, ok=False,
+                                      error=outcome.error)
+                report.outcomes.append(out)
+                say(f"{candidate.label()}: "
+                    + (f"{out.seq_per_sec:.1f} seq/s "
+                       f"({out.seconds * 1e3:.0f} ms)" if out.ok
+                       else f"FAILED ({out.error})"))
+            scheduler.finish(batch)
+    finally:
+        store.close()
+    _check_determinism(report.outcomes)
+    winners = [out for out in report.outcomes if out.ok]
+    if not winners:
+        detail = "; ".join(f"{out.candidate.label()}: {out.error}"
+                           for out in report.outcomes) or "no outcomes"
+        raise RuntimeError(f"every tuning candidate failed ({detail})")
+    report.best = max(winners, key=lambda out: out.seq_per_sec)
+    say(f"winner: {report.best.candidate.label()} "
+        f"({report.best.seq_per_sec:.1f} seq/s)")
+    return report
+
+
+def _check_determinism(outcomes: list[TuneOutcome]) -> None:
+    """Candidates differing only in operational knobs must agree on
+    weights byte-for-byte; a drifting transport disqualifies the whole
+    tuning session (better no tuned config than a wrong one)."""
+    groups: dict[int, dict[str, str]] = {}
+    for out in outcomes:
+        if out.ok:
+            groups.setdefault(out.candidate.micro_batch, {})[
+                out.candidate.label()] = out.weights_sha256
+    for micro, digests in groups.items():
+        if len(set(digests.values())) > 1:
+            detail = ", ".join(f"{label}={digest[:12]}"
+                               for label, digest in digests.items())
+            raise RuntimeError(
+                f"tuning candidates at micro_batch={micro} disagree on "
+                f"final weights — determinism regression: {detail}")
+
+
+def save_tuned(report: TuneReport,
+               path: str = DEFAULT_TUNE_PATH) -> str:
+    """Persist the winning config (atomic write); returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    atomic_write_text(path, json.dumps(report.to_blob(), indent=2,
+                                       sort_keys=True) + "\n")
+    return path
+
+
+def load_tuned(path: str | None = None) -> dict | None:
+    """The machine-local tuned config, or None.
+
+    Resolution order: explicit ``path`` → ``$REPRO_TUNE_CONFIG`` →
+    ``./work/tune.json``.  Returns the ``config`` mapping
+    (``jobs``/``pool``/``micro_batch``/``checkpoint_every``) — callers
+    apply only the knobs they honour.
+    """
+    candidate = path or os.environ.get(TUNE_CONFIG_ENV) \
+        or DEFAULT_TUNE_PATH
+    try:
+        with open(candidate, encoding="utf-8") as handle:
+            blob = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if blob.get("version") != TUNE_FORMAT_VERSION:
+        return None
+    config = blob.get("config")
+    if not isinstance(config, dict):
+        return None
+    jobs = config.get("jobs")
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        return None
+    if config.get("pool") not in (None, "threads", "procs"):
+        return None
+    return config

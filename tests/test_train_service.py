@@ -151,6 +151,35 @@ class TestDeterminism:
         assert resumed.losses == reference.losses
         assert resumed.val_losses == reference.val_losses
 
+    def test_procs_stop_resume_with_resident_lanes(self, dataset,
+                                                   reference, tmp_path):
+        """Interrupt a process-pool run mid-schedule and resume it with
+        process lanes again — the resident replicas rebuild from the
+        checkpoint and the pending-delta replay neither loses nor
+        double-applies a step."""
+        ckpt = str(tmp_path / "ck-procs")
+        partial = train_run(dataset, _tiny_config(), jobs=2,
+                            checkpoint_dir=ckpt, stop_after_steps=3)
+        assert not partial.completed and partial.steps == 3
+        assert partial.transport in ("shm", "pickle")
+        resumed = train_run(dataset, _tiny_config(), jobs=2,
+                            checkpoint_dir=ckpt)
+        assert resumed.resumed_steps == 3
+        assert resumed.weights_sha256 == reference.weights_sha256
+        assert resumed.losses == reference.losses
+        assert resumed.val_losses == reference.val_losses
+
+    def test_replica_digest_handshake_every_step(self, dataset,
+                                                 reference):
+        """digest_every=1 verifies replica state against the parent
+        after every lane step; any divergence would raise inside
+        train_run, so completing with checks recorded is the proof."""
+        run = train_run(dataset, _tiny_config(), jobs=2,
+                        use_threads=True, digest_every=1)
+        assert run.transport == "local"
+        assert run.replica_checks > 1       # init ack + per-step checks
+        assert run.weights_sha256 == reference.weights_sha256
+
     def test_finished_run_resumes_instantly(self, dataset, reference,
                                             tmp_path):
         ckpt = str(tmp_path / "ck-done")
@@ -218,7 +247,7 @@ def test_property_resume_matches_uninterrupted(tmp_path_factory,
 
 def _train_cli(corpus: str, ckpt: str, cache: str, report: str,
                crash_after: int | None = None,
-               crash_mode: str | None = None):
+               crash_mode: str | None = None, jobs: int = 1):
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     env.pop(CRASH_AFTER_ENV, None)
@@ -233,11 +262,15 @@ def _train_cli(corpus: str, ckpt: str, cache: str, report: str,
          "--micro-batch", "2", "--seq-len", "24", "--vocab-size", "128",
          "--d-model", "16", "--n-heads", "2", "--n-layers", "1",
          "--d-ff", "32", "--max-records", "24",
-         "--checkpoint-every", "1"],
+         "--checkpoint-every", "1",
+         # Hermetic: a work/tune.json on this machine must not steer
+         # the crash tests' pool choice.
+         "--jobs", str(jobs), "--no-tuned"],
         env=env, cwd=REPO, capture_output=True, text=True)
 
 
-def _sigkill_round(tmp_path, crash_after: int, crash_mode: str) -> None:
+def _sigkill_round(tmp_path, crash_after: int, crash_mode: str,
+                   jobs: int = 1) -> None:
     corpus = _corpus(tmp_path)
     cache = str(tmp_path / "cache")
     ref_report = str(tmp_path / "ref.json")
@@ -248,13 +281,14 @@ def _sigkill_round(tmp_path, crash_after: int, crash_mode: str) -> None:
     ckpt = str(tmp_path / f"ck-{crash_mode}-{crash_after}")
     report = str(tmp_path / f"report-{crash_mode}-{crash_after}.json")
     killed = _train_cli(corpus, ckpt, cache, report,
-                        crash_after=crash_after, crash_mode=crash_mode)
+                        crash_after=crash_after, crash_mode=crash_mode,
+                        jobs=jobs)
     if killed.returncode == 0:
         pass        # crash point beyond this run's checkpoint traffic
     else:
         assert killed.returncode == -signal.SIGKILL, killed.stderr
         assert not os.path.exists(report)
-        resumed = _train_cli(corpus, ckpt, cache, report)
+        resumed = _train_cli(corpus, ckpt, cache, report, jobs=jobs)
         assert resumed.returncode == 0, resumed.stdout + resumed.stderr
 
     with open(ref_report, encoding="utf-8") as handle:
@@ -276,6 +310,14 @@ class TestSigkillResume:
         names the previous checkpoint — resume replays the gap."""
         _sigkill_round(tmp_path, 3, "early")
 
+    @pytest.mark.parametrize("crash_mode", ["kill", "early"])
+    def test_sigkill_with_resident_process_lanes(self, tmp_path,
+                                                 crash_mode):
+        """SIGKILL takes down the parent *and* its resident workers
+        mid-run; resume rebuilds the lanes from the checkpoint with no
+        optimizer delta lost or double-applied."""
+        _sigkill_round(tmp_path, 2, crash_mode, jobs=2)
+
 
 @pytest.mark.tier2
 class TestSigkillResumeRandomized:
@@ -286,9 +328,10 @@ class TestSigkillResumeRandomized:
 
     @pytest.mark.parametrize("crash_after", POINTS)
     @pytest.mark.parametrize("crash_mode", ["kill", "early"])
+    @pytest.mark.parametrize("jobs", [1, 2])
     def test_randomized_crash_points(self, tmp_path, crash_after,
-                                     crash_mode):
-        _sigkill_round(tmp_path, crash_after, crash_mode)
+                                     crash_mode, jobs):
+        _sigkill_round(tmp_path, crash_after, crash_mode, jobs=jobs)
 
 
 # --------------------------------------------------------------------------

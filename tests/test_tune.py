@@ -1,0 +1,168 @@
+"""Tests for ``repro tune`` (repro.train.tune).
+
+The tuner's contract: profiling slices are ordinary service jobs
+dispatched through the scheduler (journaled, dep-gated on a warm-up
+augment), candidates differing only in operational knobs must agree on
+weights byte-for-byte, and the persisted winner resolves via explicit
+path → ``$REPRO_TUNE_CONFIG`` → ``./work/tune.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.store import JobStore
+from repro.train.tune import (TUNE_CONFIG_ENV, TuneCandidate, TuneOutcome,
+                              TuneReport, _check_determinism, default_grid,
+                              load_tuned, machine_cpus, save_tuned,
+                              tune_corpus)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+MODULE = """module dff(input clk, input d, output reg q);
+  always @(posedge clk) q <= d;
+endmodule
+"""
+
+
+def _corpus(root) -> str:
+    corpus = os.path.join(str(root), "corpus")
+    os.makedirs(corpus, exist_ok=True)
+    for name in ("dff.v", "dff2.v"):
+        with open(os.path.join(corpus, name), "w",
+                  encoding="utf-8") as handle:
+            handle.write(MODULE.replace("dff", name[:-2]))
+    return corpus
+
+
+class TestGrid:
+    def test_default_grid_covers_pools_per_micro(self):
+        grid = default_grid(max_jobs=3, micro_batches=(1, 2))
+        pools = {(c.micro_batch, c.pool, c.jobs) for c in grid}
+        for micro in (1, 2):
+            assert (micro, None, 1) in pools
+            assert (micro, "threads", 3) in pools
+            assert (micro, "procs", 3) in pools
+        assert any(c.checkpoint_every == 0 for c in grid)  # cadence probe
+
+    def test_single_core_grid_stays_serial(self):
+        grid = default_grid(max_jobs=1)
+        assert all(c.pool is None and c.jobs == 1 for c in grid)
+
+
+class TestTuneCorpus:
+    def test_candidates_run_as_scheduled_service_jobs(self, tmp_path):
+        corpus = _corpus(tmp_path)
+        store_dir = str(tmp_path / "session")
+        grid = [TuneCandidate(1, None, 2, 4),
+                TuneCandidate(2, "threads", 2, 4),
+                TuneCandidate(2, "procs", 2, 4)]
+        report = tune_corpus([corpus], store_dir=store_dir, grid=grid,
+                             batch_size=4, max_records=12)
+        assert report.best is not None
+        assert all(out.ok for out in report.outcomes)
+        assert len(report.outcomes) == len(grid)
+        # Operational knobs never change output: every candidate here
+        # shares micro_batch=2, so every digest must match.
+        assert len({out.weights_sha256 for out in report.outcomes}) == 1
+
+        # Scheduler-path proof: the journal holds the warm-up augment
+        # plus one normalised train job per candidate, dep-gated on it.
+        store = JobStore(os.path.join(store_dir, "store"))
+        try:
+            jobs = list(store.jobs.values())
+        finally:
+            store.close()
+        augments = [job for job in jobs if job.kind == "augment"]
+        trains = [job for job in jobs if job.kind == "train"]
+        assert len(augments) == 1 and len(trains) == len(grid)
+        assert all(job.state == "done" for job in jobs)
+        for job in trains:
+            assert job.after == [augments[0].id]
+            assert job.spec["pool"] in (None, "threads", "procs")
+            assert "pool_jobs" in job.spec     # normalised at submit
+
+    def test_empty_grid_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty tuning grid"):
+            tune_corpus([_corpus(tmp_path)],
+                        store_dir=str(tmp_path / "s"), grid=[])
+
+
+class TestDeterminismCheck:
+    @staticmethod
+    def _outcome(micro: int, digest: str, pool=None) -> TuneOutcome:
+        return TuneOutcome(candidate=TuneCandidate(1, pool, micro, 4),
+                           job_id="j", ok=True, weights_sha256=digest)
+
+    def test_drift_within_micro_group_aborts(self):
+        with pytest.raises(RuntimeError, match="determinism regression"):
+            _check_determinism([self._outcome(2, "aaaa"),
+                                self._outcome(2, "bbbb", pool="procs")])
+
+    def test_distinct_micro_groups_may_differ(self):
+        _check_determinism([self._outcome(1, "aaaa"),
+                            self._outcome(2, "bbbb")])
+
+
+class TestTunedConfigResolution:
+    @staticmethod
+    def _report() -> TuneReport:
+        best = TuneOutcome(candidate=TuneCandidate(2, "threads", 2, 4),
+                           job_id="j", ok=True, seq_per_sec=100.0)
+        return TuneReport(outcomes=[best], best=best, cpus=machine_cpus())
+
+    def test_round_trip_explicit_path(self, tmp_path):
+        path = save_tuned(self._report(), str(tmp_path / "tune.json"))
+        config = load_tuned(path)
+        assert config == {"jobs": 2, "pool": "threads",
+                          "micro_batch": 2, "checkpoint_every": 4}
+
+    def test_env_resolution(self, tmp_path, monkeypatch):
+        path = save_tuned(self._report(), str(tmp_path / "tune.json"))
+        monkeypatch.setenv(TUNE_CONFIG_ENV, path)
+        assert load_tuned() is not None
+
+    def test_default_path_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TUNE_CONFIG_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert load_tuned() is None            # nothing written yet
+        save_tuned(self._report())             # -> ./work/tune.json
+        assert load_tuned()["jobs"] == 2
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_tuned(str(tmp_path / "absent.json")) is None
+
+    @pytest.mark.parametrize("blob", [
+        {"version": 99, "config": {"jobs": 1, "pool": None}},
+        {"version": 1, "config": None},
+        {"version": 1, "config": {"jobs": 0, "pool": None}},
+        {"version": 1, "config": {"jobs": True, "pool": None}},
+        {"version": 1, "config": {"jobs": 2, "pool": "rockets"}},
+    ])
+    def test_malformed_blobs_are_none(self, tmp_path, blob):
+        path = str(tmp_path / "tune.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle)
+        assert load_tuned(path) is None
+
+
+class TestTuneCli:
+    def test_tune_writes_config_train_consumes(self, tmp_path):
+        corpus = _corpus(tmp_path)
+        out = str(tmp_path / "tune.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        done = subprocess.run(
+            [sys.executable, "-m", "repro", "tune", corpus,
+             "--out", out, "--store-dir", str(tmp_path / "session"),
+             "--max-jobs", "1", "--batch-size", "4",
+             "--max-records", "12"],
+            env=env, cwd=REPO, capture_output=True, text=True)
+        assert done.returncode == 0, done.stdout + done.stderr
+        assert "winner:" in done.stdout
+        config = load_tuned(out)
+        assert config is not None and config["jobs"] >= 1
