@@ -128,8 +128,18 @@ def run_serve_bench(root: str) -> dict:
 def test_serve_throughput_and_resume(once, benchmark, tmp_path):
     result = once(run_serve_bench, str(tmp_path))
     benchmark.extra_info.update(result)
+    # Merge-write: bench_gateway.py contributes scenario entries to the
+    # same file (and collects first alphabetically) — a blind overwrite
+    # here would drop them.
+    merged = {}
+    try:
+        with open(RESULT_PATH, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    merged.update(result)
     with open(RESULT_PATH, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+        json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print("\n" + json.dumps(result, indent=2, sort_keys=True))
     assert result["jobs_per_sec"] > 0

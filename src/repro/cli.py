@@ -23,9 +23,12 @@ Commands mirror the tool chain a user drives interactively:
   Tables 3–5 through the engine)
 * ``serve``     — run the crash-safe job daemon (``repro.serve``):
   augmentation, evaluation, simulation and experiments as journaled,
-  resumable jobs behind a JSON HTTP API
+  resumable jobs behind a JSON HTTP API; ``--gateway`` swaps the
+  threaded front end for the asyncio multi-tenant gateway (tenant
+  rate limits/quotas via ``X-Repro-Tenant``, SSE job streams,
+  429 + ``Retry-After`` backpressure — see ``repro.serve.gateway``)
 * ``submit`` / ``status`` / ``result`` / ``cancel`` — client commands
-  talking to a running daemon (``--url``)
+  talking to a running daemon (``--url``, ``--tenant``)
 * ``pipeline``  — submit augment → train → evaluate to the daemon as
   one dependency DAG; the evaluate stage scores the freshly trained
   model
@@ -459,6 +462,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     daemon = Daemon(args.store, budgets=budgets or None,
                     engine_jobs=args.jobs, workers=args.workers,
                     batch_limit=args.batch_limit)
+    if args.gateway:
+        return _serve_gateway(args, daemon)
     server = make_server(daemon, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     daemon.start()
@@ -479,9 +484,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenants(items) -> dict:
+    """``name=rate[:burst[:max_active[:boost]]]`` → policy map.
+
+    Empty fields keep the default (e.g. ``paid=::64:10`` sets only the
+    quota and priority boost).
+    """
+    from .serve import TenantPolicy
+    tenants = {}
+    for item in items or ():
+        name, _, knobs = item.partition("=")
+        if not name:
+            raise ValueError(f"bad --tenant '{item}'")
+        fields = (knobs.split(":") + ["", "", "", ""])[:4]
+        rate, burst, max_active, boost = fields
+        tenants[name] = TenantPolicy(
+            name=name,
+            rate=float(rate) if rate else None,
+            burst=int(burst) if burst else 64,
+            max_active=int(max_active) if max_active else None,
+            priority_boost=int(boost) if boost else 0)
+    return tenants
+
+
+def _serve_gateway(args: argparse.Namespace, daemon) -> int:
+    """Foreground asyncio gateway in front of ``daemon``."""
+    import asyncio
+
+    from .serve import Gateway, GatewayConfig
+    try:
+        tenants = _parse_tenants(args.tenant)
+    except ValueError as exc:
+        print(f"{exc} (want name=rate[:burst[:max_active[:boost]]])",
+              file=sys.stderr)
+        return 2
+    config = GatewayConfig(
+        max_queue_depth=args.max_queue_depth, tenants=tenants,
+        allow_unknown_tenants=not args.strict_tenants)
+
+    async def _main() -> None:
+        gateway = Gateway(daemon, host=args.host, port=args.port,
+                          config=config)
+        await gateway.start()
+        if daemon.store.recovered:
+            print(f"-- recovered {len(daemon.store.recovered)} "
+                  f"interrupted job(s): "
+                  f"{', '.join(daemon.store.recovered)}", flush=True)
+        print(f"-- serving on http://{args.host}:{gateway.port} "
+              f"(store {args.store})", flush=True)
+        try:
+            await gateway.serve_forever()
+        finally:
+            await gateway.close()
+
+    daemon.start()
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+        print("-- daemon stopped (store compacted)")
+    return 0
+
+
 def _client(args: argparse.Namespace):
     from .serve import ServeClient
-    return ServeClient(args.url)
+    return ServeClient(args.url, tenant=getattr(args, "tenant", None))
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -518,6 +587,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
     elif args.job_kind == "simulate":
         spec = {"source": _read(args.file), "top": args.top,
                 "backend": args.sim_backend, "vcd": args.vcd}
+    elif args.job_kind == "probe":
+        try:
+            payload = json.loads(args.payload) if args.payload else ""
+        except ValueError:
+            payload = args.payload      # plain string payload
+        spec = {"payload": payload, "sleep_ms": args.sleep_ms}
     else:   # experiment
         spec = {"name": args.name, "quick": not args.full}
     try:
@@ -849,11 +924,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", action="append", metavar="KIND=N",
                    help="per-kind concurrent-batch budget, e.g. "
                         "simulate=4 (repeatable)")
+    p.add_argument("--gateway", action="store_true",
+                   help="serve through the asyncio multi-tenant "
+                        "gateway (tenant rate limits, SSE streams, "
+                        "backpressure) instead of the threaded server")
+    p.add_argument("--max-queue-depth", type=int, default=512,
+                   help="gateway admission ceiling on queued+running "
+                        "jobs before submits get 429s (default 512)")
+    p.add_argument("--tenant", action="append",
+                   metavar="NAME=RATE[:BURST[:MAX_ACTIVE[:BOOST]]]",
+                   help="gateway tenant policy (repeatable): token "
+                        "bucket RATE/s + BURST, MAX_ACTIVE job quota, "
+                        "BOOST added to submit priority; empty fields "
+                        "keep defaults, e.g. paid=::64:10")
+    p.add_argument("--strict-tenants", action="store_true",
+                   help="reject requests with an unrecognised "
+                        "X-Repro-Tenant header (403) instead of "
+                        "applying the default policy")
     p.set_defaults(fn=cmd_serve)
 
     def add_client_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
                        help="daemon base URL")
+        p.add_argument("--tenant", default=None,
+                       help="X-Repro-Tenant header value (gateway "
+                            "rate limits/quotas resolve against it)")
 
     p = sub.add_parser("submit", help="submit a job to the daemon")
     p.add_argument("--priority", type=int, default=0,
@@ -911,6 +1006,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="paper table/figure by registry id")
     k.add_argument("name", help="experiment id, e.g. table5")
     k.add_argument("--full", action="store_true")
+
+    k = kinds.add_parser("probe",
+                         help="near-zero-cost serving probe (echoes "
+                              "a payload; stress/health checks)")
+    k.add_argument("--payload", default="",
+                   help="JSON value to echo (default empty string)")
+    k.add_argument("--sleep-ms", type=int, default=0,
+                   help="simulated execution time (drain scenarios)")
     p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("status", help="job/daemon status")

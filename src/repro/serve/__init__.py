@@ -9,22 +9,33 @@ freshly trained model —
 
 * :mod:`jobs`      — job model + spec validation + dependency edges
 * :mod:`store`     — :class:`JobStore`: append-only JSONL journal +
-  atomic snapshot; every transition journaled, kill-and-resume safe
+  atomic snapshot; every transition journaled (group-committed: N
+  events behind one fsync), kill-and-resume safe
 * :mod:`scheduler` — priority/FIFO queues, per-kind budgets,
   fingerprint-compatible batching
 * :mod:`executor`  — deterministic job execution (results are pure
   functions of the spec; byte-identical direct vs daemon vs resumed)
-* :mod:`daemon`    — worker threads + JSON-over-HTTP API
-* :mod:`client`    — stdlib client used by the CLI and tests
+* :mod:`daemon`    — worker threads + threaded JSON-over-HTTP API
+* :mod:`gateway`   — asyncio multi-tenant front end: one event loop
+  for thousands of connections, ``X-Repro-Tenant`` token-bucket rate
+  limits and quotas, SSE job-progress streams
+  (``GET /api/events/<id>``), and 429 + ``Retry-After`` backpressure
+  once queue depth or a tenant budget is exhausted — same execution
+  backend, byte-identical results
+* :mod:`client`    — stdlib client used by the CLI and tests (batched
+  ``wait()``, tenant header support)
 
 Proven by the fault-injection harness in
-``tests/test_serve_recovery.py``; see ROADMAP "repro.serve".
+``tests/test_serve_recovery.py`` (both front ends) and stress-tested
+by the scenario benchmarks in ``benchmarks/bench_gateway.py``; see
+ROADMAP "repro.serve".
 """
 
 from .client import DEFAULT_URL, ServeClient, ServeError
 from .daemon import DEFAULT_PORT, Daemon, make_server
 from .executor import (BatchResult, JobOutcome, compat_key, execute_batch,
                        execute_job)
+from .gateway import Gateway, GatewayConfig, GatewayServer, TenantPolicy
 from .jobs import (JOB_KINDS, JOB_STATES, TERMINAL_STATES, Job, SpecError,
                    validate_spec)
 from .scheduler import (DEFAULT_BATCH_LIMIT, DEFAULT_BUDGETS, Batch,
@@ -41,5 +52,6 @@ __all__ = [
     "compat_key", "execute_batch", "execute_job", "JobOutcome",
     "BatchResult",
     "Daemon", "make_server", "DEFAULT_PORT",
+    "Gateway", "GatewayConfig", "GatewayServer", "TenantPolicy",
     "ServeClient", "ServeError", "DEFAULT_URL",
 ]

@@ -1,8 +1,12 @@
-"""Thin stdlib HTTP client for the job daemon.
+"""Thin stdlib HTTP client for the job daemon and the gateway.
 
 Used by ``repro submit/status/result/cancel`` and by the test
 harnesses; every method mirrors one endpoint of
-:mod:`repro.serve.daemon`.
+:mod:`repro.serve.daemon` (the asyncio gateway serves the same
+surface).  Construct with ``tenant="name"`` to stamp every request
+with the gateway's ``X-Repro-Tenant`` header; a 429 from admission
+control surfaces as :class:`ServeError` with ``retry_after`` set from
+the ``Retry-After`` header.
 """
 
 from __future__ import annotations
@@ -21,27 +25,35 @@ DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
 class ServeError(RuntimeError):
     """The daemon answered with an error status."""
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(self, status: int, payload: dict,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status}: "
                          f"{payload.get('error', payload)}")
         self.status = status
         self.payload = payload
+        #: Seconds the gateway suggested waiting before retrying
+        #: (backpressure 429s); ``None`` otherwise.
+        self.retry_after = retry_after
 
 
 class ServeClient:
-    """Talk to one daemon at ``url`` (default local, default port)."""
+    """Talk to one daemon/gateway at ``url`` (default local port)."""
 
-    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0):
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0,
+                 tenant: str | None = None):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.tenant = tenant
 
     def _request(self, path: str, body: dict | None = None):
         data = None
         if body is not None:
             data = json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
         request = urllib.request.Request(
-            self.url + path, data=data,
-            headers={"Content-Type": "application/json"},
+            self.url + path, data=data, headers=headers,
             method="POST" if body is not None else "GET")
         try:
             with urllib.request.urlopen(request,
@@ -52,7 +64,15 @@ class ServeClient:
                 payload = json.loads(exc.read().decode("utf-8"))
             except ValueError:
                 payload = {"error": str(exc)}
-            raise ServeError(exc.code, payload) from None
+            retry_after = None
+            raw = exc.headers.get("Retry-After") if exc.headers else None
+            if raw:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    pass
+            raise ServeError(exc.code, payload,
+                             retry_after=retry_after) from None
 
     # -- endpoints --------------------------------------------------------
 
@@ -67,7 +87,10 @@ class ServeClient:
     def status(self, job_id: str) -> dict:
         return self._request(f"/api/job/{job_id}")
 
-    def jobs(self) -> list[dict]:
+    def jobs(self, ids: list[str] | None = None) -> list[dict]:
+        """The job table, or just ``ids`` — one request either way."""
+        if ids:
+            return self._request("/api/jobs?ids=" + ",".join(ids))
         return self._request("/api/jobs")
 
     def result(self, job_id: str) -> dict:
@@ -79,27 +102,37 @@ class ServeClient:
     def health(self) -> dict:
         return self._request("/api/health")
 
+    def gateway(self) -> dict:
+        """Gateway admission stats (gateway front end only)."""
+        return self._request("/api/gateway")
+
     # -- helpers ----------------------------------------------------------
 
     def wait(self, job_ids: list[str], timeout: float = 120.0,
              poll: float = 0.05) -> dict[str, dict]:
         """Poll until every job reaches a terminal state.
 
-        Returns ``id → job dict``; raises :class:`TimeoutError` if the
-        deadline passes first.
+        One batched ``/api/jobs?ids=…`` query per tick — waiting on an
+        N-job DAG is O(1) requests per poll, not O(N).  Returns
+        ``id → job dict``; raises :class:`TimeoutError` if the deadline
+        passes first.
         """
         deadline = time.monotonic() + timeout
         jobs: dict[str, dict] = {}
         pending = list(job_ids)
         while pending:
-            still = []
-            for job_id in pending:
-                job = self.status(job_id)
+            seen = set()
+            for job in self.jobs(ids=pending):
+                seen.add(job["id"])
                 if job["state"] in TERMINAL_STATES:
-                    jobs[job_id] = job
-                else:
-                    still.append(job_id)
-            pending = still
+                    jobs[job["id"]] = job
+            unknown = [job_id for job_id in pending
+                       if job_id not in seen]
+            if unknown:
+                raise ServeError(404, {"error": "unknown job "
+                                       f"{', '.join(unknown)}"})
+            pending = [job_id for job_id in pending
+                       if job_id not in jobs]
             if pending:
                 if time.monotonic() > deadline:
                     raise TimeoutError(

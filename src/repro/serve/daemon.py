@@ -2,26 +2,52 @@
 
 One :class:`Daemon` owns a :class:`~repro.serve.store.JobStore`, a
 :class:`~repro.serve.scheduler.Scheduler` and a small pool of worker
-threads.  Workers claim scheduler batches under a shared condition
+threads.  Workers claim scheduler batches under the scheduler condition
 lock, execute them *outside* the lock (the heavy lifting parallelises
 through the subsystems' own pools), and commit the outcomes back
 through the store — so every transition is journaled and a SIGKILL at
 any point resumes cleanly on the next start (interrupted jobs are
 requeued by the store; see ``repro.serve.store``).
 
+**Locking discipline.**  Two locks, never nested:
+
+* ``_cond`` — the scheduler condition lock.  Guards the in-memory
+  queue/budget state and is the only thing workers sleep on; it is
+  *never* held across disk I/O, so a slow journal fsync or health scan
+  cannot stall dispatch or the API.
+* ``_store_lock`` — serialises :class:`JobStore` access (the journal
+  is single-writer).  Journal appends, result-blob writes and result
+  reads happen here, off the scheduler lock.
+
+Idle workers block on ``_cond.wait()`` with **no timeout**; every
+transition that could make new work dispatchable (submit, cancel,
+batch finish, dependency doom) notifies, so an idle daemon burns no
+CPU.
+
+State transitions can be observed via :meth:`Daemon.add_listener`
+(each listener is called with the job dict after the transition is
+journaled, outside all locks) — the asyncio gateway uses this to
+stream SSE job-progress events and keep per-tenant accounting live.
+
 API surface (all JSON)::
 
     POST /api/submit            {kind, spec, priority?, after?} → job
-    GET  /api/jobs              [job, ...]
+    GET  /api/jobs[?ids=a,b]    [job, ...] (optionally only those ids)
     GET  /api/job/<id>          job
     GET  /api/result/<id>       result blob (409 until done)
     POST /api/cancel/<id>       job (409 unless still queued)
     GET  /api/health            queues, budgets, counts, caches, sim
 
+The asyncio front end (:mod:`repro.serve.gateway`) serves the same
+surface plus tenants, SSE streaming and admission control on one event
+loop; this threaded server remains as the minimal-dependency fallback
+and the execution backend either way.
+
 The health payload reports queue depths and in-flight batches per
 kind, job-state counts, ``last_run`` hit/miss counters from every
 cache manifest under the work dir, and the daemon's aggregated
-simulator-backend stats.
+simulator-backend stats.  Cache manifests are read from disk *outside*
+the locks — a slow health scan never blocks workers or API calls.
 """
 
 from __future__ import annotations
@@ -30,7 +56,9 @@ import json
 import os
 import sys
 import threading
+from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from .executor import execute_batch
 from .jobs import SpecError, validate_spec
@@ -66,6 +94,8 @@ class Daemon:
                                    state_fn=self._job_state)
         self.sim_stats = BackendStats()
         self._cond = threading.Condition()
+        self._store_lock = threading.RLock()
+        self._listeners: list[Callable[[dict], None]] = []
         self._stop = False
         self._threads: list[threading.Thread] = []
         # Resume: everything the previous daemon left queued (including
@@ -92,7 +122,7 @@ class Daemon:
         for thread in self._threads:
             thread.join()
         self._threads.clear()
-        with self._cond:
+        with self._store_lock:
             self.store.close()
 
     def wait_idle(self, timeout: float = 60.0) -> bool:
@@ -105,75 +135,165 @@ class Daemon:
                 timeout=timeout)
 
     def _job_state(self, job_id: str) -> str | None:
-        """Dependency state lookup the scheduler gates dispatch on."""
+        """Dependency state lookup the scheduler gates dispatch on.
+
+        Lock-free: states only mutate *after* their journal fsync
+        (under the store lock), and a stale read merely delays the
+        dependent to the next dispatch attempt.
+        """
         job = self.store.jobs.get(job_id)
         return job.state if job is not None else None
+
+    # -- transition listeners ---------------------------------------------
+
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        """Register a callback fired (from arbitrary threads, outside
+        all daemon locks) with the job dict after every journaled
+        transition.  Listeners must not block; exceptions are dropped."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[dict], None]) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit(self, jobs) -> None:
+        if not self._listeners or not jobs:
+            return
+        for job in jobs:
+            blob = job.to_dict()
+            for listener in list(self._listeners):
+                try:
+                    listener(blob)
+                except Exception:
+                    pass
 
     # -- operations (thread-safe) -----------------------------------------
 
     def submit(self, kind: str, spec: dict, priority: int = 0,
                after: list[str] | None = None):
-        spec = validate_spec(kind, spec)
-        after = list(after or ())
-        with self._cond:
-            for dep in after:
-                if dep not in self.store.jobs:
-                    raise SpecError(f"unknown dependency job '{dep}'")
-            job = self.store.submit(kind, spec, priority=priority,
-                                    after=after)
-            self.scheduler.submit(job)
-            self._cond.notify_all()
-            return job.to_dict()
+        outcome = self.submit_many([(kind, spec, priority,
+                                     list(after or ()))])[0]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def submit_many(self, requests: list[tuple[str, dict, int,
+                                               list[str]]]
+                    ) -> list[dict | Exception]:
+        """Admit a group of submissions behind one journal fsync.
+
+        ``requests`` is ``[(kind, spec, priority, after)]``; the return
+        value is per-request and order-preserving: the submitted job
+        dict, or the :class:`SpecError` (or store failure) that
+        rejected it.  Validation runs outside every lock; the journal
+        group commit runs under the store lock only; scheduler
+        admission (+ worker wakeup) under the scheduler lock only.
+        """
+        outcomes: list[dict | Exception | None] = [None] * len(requests)
+        valid = []
+        for index, (kind, spec, priority, after) in enumerate(requests):
+            try:
+                valid.append((index, kind, validate_spec(kind, spec),
+                              int(priority), list(after or ())))
+            except SpecError as exc:
+                outcomes[index] = exc
+        jobs = []
+        admitted = []
+        with self._store_lock:
+            for index, kind, spec, priority, after in valid:
+                missing = [dep for dep in after
+                           if dep not in self.store.jobs]
+                if missing:
+                    outcomes[index] = SpecError(
+                        f"unknown dependency job '{missing[0]}'")
+                else:
+                    admitted.append((index, kind, spec, priority, after))
+            if admitted:
+                try:
+                    jobs = self.store.submit_many(
+                        [(kind, spec, priority, after)
+                         for _, kind, spec, priority, after in admitted])
+                except Exception as exc:
+                    for index, *_ in admitted:
+                        outcomes[index] = exc
+                    admitted = []
+        if jobs:
+            with self._cond:
+                for job in jobs:
+                    self.scheduler.submit(job)
+                self._cond.notify_all()
+            for (index, *_), job in zip(admitted, jobs):
+                outcomes[index] = job.to_dict()
+            self._emit(jobs)
+        return outcomes
 
     def cancel(self, job_id: str) -> dict | None:
         """Cancel a queued job; None if it is not cancellable."""
         with self._cond:
             if not self.scheduler.cancel(job_id):
                 return None
+        with self._store_lock:
             job = self.store.mark_cancelled(job_id)
+        with self._cond:
             self._cond.notify_all()
-            return job.to_dict()
+        self._emit([job])
+        return job.to_dict()
 
     def job(self, job_id: str) -> dict | None:
-        with self._cond:
-            job = self.store.jobs.get(job_id)
-            return job.to_dict() if job is not None else None
+        job = self.store.jobs.get(job_id)
+        return job.to_dict() if job is not None else None
 
-    def jobs(self) -> list[dict]:
-        with self._cond:
-            return [job.to_dict() for job in
-                    sorted(self.store.jobs.values(),
-                           key=lambda j: j.seq)]
+    def jobs(self, ids: list[str] | None = None) -> list[dict]:
+        """All jobs (or just ``ids``, unknown ids silently omitted) in
+        submission order.  Lock-free snapshot read — pollers never
+        stall behind a journal fsync."""
+        if ids is not None:
+            found = (self.store.jobs.get(job_id) for job_id in ids)
+            table = [job for job in found if job is not None]
+        else:
+            table = list(self.store.jobs.values())
+        return [job.to_dict()
+                for job in sorted(table, key=lambda j: j.seq)]
 
     def result(self, job_id: str) -> dict | None:
-        with self._cond:
+        with self._store_lock:
             return self.store.result(job_id)
 
     def health(self) -> dict:
+        # Snapshot the in-memory state under the scheduler lock, then
+        # do every disk read (cache manifests) with no lock held — a
+        # slow filesystem scan must not stall workers or API calls.
         with self._cond:
-            stats = self.sim_stats
-            return {
-                "queue_depths": self.scheduler.queue_depths(),
-                "in_flight": dict(self.scheduler.in_flight),
-                "budgets": {kind: self.scheduler.budget_for(kind)
-                            for kind in self.scheduler.budgets},
-                "jobs": self.store.counts(),
-                "recovered": list(self.store.recovered),
-                "caches": self._cache_health(),
-                "sim_backend": {
-                    "summary": stats.summary(),
-                    "compiled_runs": stats.compiled_runs,
-                    "interp_runs": stats.interp_runs,
-                    "fallbacks": stats.fallbacks,
-                    "compiles": stats.compiles,
-                    "cache_hits": stats.cache_hits,
-                },
-            }
+            queue_depths = self.scheduler.queue_depths()
+            in_flight = dict(self.scheduler.in_flight)
+            budgets = {kind: self.scheduler.budget_for(kind)
+                       for kind in self.scheduler.budgets}
+            stats = self.sim_stats.copy()
+        counts = self.store.counts()
+        recovered = list(self.store.recovered)
+        return {
+            "queue_depths": queue_depths,
+            "in_flight": in_flight,
+            "budgets": budgets,
+            "jobs": counts,
+            "recovered": recovered,
+            "caches": self._cache_health(),
+            "sim_backend": {
+                "summary": stats.summary(),
+                "compiled_runs": stats.compiled_runs,
+                "interp_runs": stats.interp_runs,
+                "fallbacks": stats.fallbacks,
+                "compiles": stats.compiles,
+                "cache_hits": stats.cache_hits,
+            },
+        }
 
     def _cache_health(self) -> dict[str, dict]:
         """``last_run`` hit/miss counters from every cache manifest the
         work dir has accumulated (augment shards, eval cells, compile
-        verdicts)."""
+        verdicts).  Pure disk reads: called with no lock held."""
         caches: dict[str, dict] = {}
         try:
             names = sorted(os.listdir(self.work_dir))
@@ -191,70 +311,119 @@ class Daemon:
 
     # -- workers ----------------------------------------------------------
 
-    def _fail_doomed_locked(self) -> None:
-        """Fail queued jobs whose dependencies can no longer succeed.
+    def _doomed_locked(self) -> list[tuple]:
+        """Claim queued jobs whose dependencies can no longer succeed
+        (scheduler-side only; the journal writes happen outside the
+        condition lock in :meth:`_fail_doomed`)."""
+        claimed = []
+        for job in self.scheduler.doomed():
+            if not self.scheduler.cancel(job.id):
+                continue
+            states = {dep: self._job_state(dep) for dep in job.after}
+            claimed.append((job, states))
+        return claimed
 
-        Loops because failing one job may doom its own dependents —
-        the cascade settles before any dispatch decision.
-        """
-        while True:
-            doomed = self.scheduler.doomed()
-            if not doomed:
-                return
-            for job in doomed:
-                if not self.scheduler.cancel(job.id):
-                    continue
-                states = {dep: self._job_state(dep) for dep in job.after}
+    def _fail_doomed(self, claimed: list[tuple]) -> None:
+        """Journal dependency failures for jobs :meth:`_doomed_locked`
+        claimed.  Failing one job may doom its own dependents — the
+        claim loop re-runs until the cascade settles."""
+        failed = []
+        with self._store_lock:
+            for job, states in claimed:
                 broken = ", ".join(
                     f"{dep} is {state or 'unknown'}"
                     for dep, state in states.items()
                     if state != "done")
                 try:
-                    self.store.mark_failed(
-                        job.id, f"dependency failed: {broken}")
+                    failed.append(self.store.mark_failed(
+                        job.id, f"dependency failed: {broken}"))
                 except Exception as exc:
                     print(f"serve: failed to journal dependency "
                           f"failure of {job.id}: {exc}",
                           file=sys.stderr)
+        with self._cond:
             self._cond.notify_all()
+        self._emit(failed)
+
+    def _mark_running(self, batch) -> None:
+        """Journal the batch's ``start`` events (one fsync).  Non-fatal
+        on failure: execution proceeds and the done/fail transition is
+        legal straight from ``queued``."""
+        running = []
+        with self._store_lock:
+            try:
+                running = self.store.mark_running_many(batch.ids)
+            except Exception as exc:
+                print(f"serve: failed to journal start of "
+                      f"{'/'.join(batch.ids)}: {exc}", file=sys.stderr)
+        self._emit(running)
 
     def _claim(self):
-        with self._cond:
-            while not self._stop:
-                self._fail_doomed_locked()
-                batch = self.scheduler.next_batch()
-                if batch is not None:
-                    for job in batch.jobs:
-                        try:
-                            self.store.mark_running(job.id)
-                        except Exception as exc:
-                            # Non-fatal: execution proceeds and the
-                            # done/fail transition is legal straight
-                            # from `queued`.
-                            print(f"serve: failed to journal start of "
-                                  f"{job.id}: {exc}", file=sys.stderr)
-                    return batch
-                self._cond.wait(0.1)
-            return None
+        """Block until a batch is dispatchable (or the daemon stops).
+
+        The wait carries **no timeout**: every transition that could
+        unblock dispatch (submit, cancel, finish, doom) notifies the
+        condition, so idle workers sleep instead of polling.  All
+        journal writes happen outside the condition lock.
+        """
+        while True:
+            doomed = []
+            batch = None
+            with self._cond:
+                while not self._stop:
+                    doomed = self._doomed_locked()
+                    if doomed:
+                        break
+                    batch = self.scheduler.next_batch()
+                    if batch is not None:
+                        break
+                    self._cond.wait()
+                if self._stop:
+                    return None
+            if doomed:
+                self._fail_doomed(doomed)
+                continue
+            self._mark_running(batch)
+            return batch
 
     def _commit(self, batch, result) -> None:
-        """Journal a batch's outcomes.  A store write failing (e.g.
-        disk full) must not kill the worker: the job simply stays
-        ``running`` and is requeued on the next daemon start."""
+        """Journal a batch's outcomes behind one fsync per event group.
+
+        Runs under the store lock only — API calls and dispatch never
+        wait on the commit's disk latency.  A store write failing
+        (e.g. disk full) must not kill the worker: the jobs simply stay
+        ``running`` and are requeued on the next daemon start.
+        """
+        done, failed = [], []
         for job in batch.jobs:
             outcome = result.outcomes.get(job.id)
-            try:
-                if outcome is not None and outcome.ok:
-                    self.store.mark_done(job.id, outcome.blob)
-                else:
-                    error = outcome.error if outcome is not None \
-                        else "no outcome produced"
-                    self.store.mark_failed(job.id, error)
-            except Exception as exc:
-                print(f"serve: failed to journal outcome of "
-                      f"{job.id}: {exc}", file=sys.stderr)
+            if outcome is not None and outcome.ok:
+                done.append((job.id, outcome.blob))
+            else:
+                failed.append((job.id,
+                               outcome.error if outcome is not None
+                               else "no outcome produced"))
+        committed = []
+        with self._store_lock:
+            if done:
+                try:
+                    committed.extend(self.store.mark_done_many(done))
+                except Exception as exc:
+                    print(f"serve: failed to journal outcome of "
+                          f"{'/'.join(job_id for job_id, _ in done)}: "
+                          f"{exc}", file=sys.stderr)
+            if failed:
+                try:
+                    committed.extend(
+                        self.store.mark_failed_many(failed))
+                except Exception as exc:
+                    print(f"serve: failed to journal failure of "
+                          f"{'/'.join(job_id for job_id, _ in failed)}: "
+                          f"{exc}", file=sys.stderr)
         if result.sim_stats is not None:
-            self.sim_stats.add(result.sim_stats)
+            with self._cond:
+                self.sim_stats.add(result.sim_stats)
+        self._emit(committed)
 
     def _worker(self) -> None:
         while True:
@@ -265,9 +434,8 @@ class Daemon:
                 result = execute_batch(batch.kind, batch.jobs,
                                        self.work_dir,
                                        engine_jobs=self.engine_jobs,
-                                       resolve=self.store.result)
-                with self._cond:
-                    self._commit(batch, result)
+                                       resolve=self.result)
+                self._commit(batch, result)
             finally:
                 # The budget slot is released no matter what failed
                 # above — a wedged kind would otherwise outlive the
@@ -291,13 +459,19 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _reply(self, code: int, payload) -> None:
+        """Send one JSON response; a client that hung up mid-response
+        is dropped silently (handler threads must survive disconnects,
+        not spray tracebacks)."""
         body = (json.dumps(payload, ensure_ascii=False, sort_keys=True)
                 + "\n").encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
 
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length", "0") or 0)
@@ -309,12 +483,24 @@ class _Handler(BaseHTTPRequestHandler):
         return blob
 
     def do_GET(self) -> None:
+        try:
+            self._route_get()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _route_get(self) -> None:
         daemon = self.daemon_ref
-        path = self.path.rstrip("/")
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/")
         if path == "/api/health":
             self._reply(200, daemon.health())
         elif path == "/api/jobs":
-            self._reply(200, daemon.jobs())
+            ids_raw = parse_qs(url.query).get("ids")
+            ids = None
+            if ids_raw:
+                ids = [job_id for chunk in ids_raw
+                       for job_id in chunk.split(",") if job_id]
+            self._reply(200, daemon.jobs(ids))
         elif path.startswith("/api/job/"):
             job = daemon.job(path.rsplit("/", 1)[1])
             if job is None:
@@ -340,7 +526,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         daemon = self.daemon_ref
-        path = self.path.rstrip("/")
+        path = urlsplit(self.path).path.rstrip("/")
         try:
             if path == "/api/submit":
                 body = self._body()
@@ -368,16 +554,19 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(404, {"error": f"unknown path {self.path}"})
         except SpecError as exc:
             self._reply(400, {"error": str(exc)})
-        except ValueError as exc:
+        except (ValueError, TypeError) as exc:
             self._reply(400, {"error": f"bad request: {exc}"})
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
 
 
 def make_server(daemon: Daemon, host: str = "127.0.0.1",
                 port: int = DEFAULT_PORT) -> ThreadingHTTPServer:
-    """Bind (but do not run) the daemon's HTTP server.
+    """Bind (but do not run) the daemon's threaded HTTP server.
 
     ``port=0`` binds an ephemeral port; read it back from
-    ``server.server_address``.
+    ``server.server_address``.  For the asyncio front end (tenants,
+    SSE, backpressure) see :func:`repro.serve.gateway.serve_gateway`.
     """
     handler = type("BoundHandler", (_Handler,), {"daemon_ref": daemon})
     return ThreadingHTTPServer((host, port), handler)

@@ -74,6 +74,8 @@ def compat_key(job: Job) -> str:
         return f"infer-{spec['trained']['job']}"
     if job.kind == "simulate":
         return "simulate"
+    if job.kind == "probe":
+        return "probe"                  # all probes batch freely
     if job.kind == "experiment":
         return f"experiment-quick{int(bool(job.spec.get('quick', True)))}"
     return f"{job.kind}-{job.id}"       # unknown kinds never batch
@@ -245,6 +247,21 @@ def _execute_infer(jobs: list[Job],
     return outcomes
 
 
+def _probe_blob(spec: dict) -> dict:
+    """Echo the payload plus its canonical-JSON sha256.
+
+    ``sleep_ms`` delays execution (drain/kill-worker scenarios) but is
+    excluded from the blob: the result is a pure function of the
+    payload, as the determinism contract requires.
+    """
+    import time
+    if spec["sleep_ms"]:
+        time.sleep(spec["sleep_ms"] / 1000.0)
+    encoded = json.dumps(spec["payload"], sort_keys=True)
+    return {"kind": "probe", "payload": spec["payload"],
+            "sha256": hashlib.sha256(encoded.encode("utf-8")).hexdigest()}
+
+
 def _simulate_blob(spec: dict) -> dict:
     from ..sim import run_simulation
     result = run_simulation(spec["source"], top=spec.get("top"),
@@ -352,6 +369,14 @@ def execute_batch(kind: str, jobs: list[Job], workdir: str,
             result.outcomes = {job.id: JobOutcome(ok=False, error=error)
                                for job in jobs}
         result.sim_stats = engine.sim_stats
+    elif kind == "probe":
+        for job in jobs:
+            try:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=True, blob=_probe_blob(job.spec))
+            except Exception as exc:
+                result.outcomes[job.id] = JobOutcome(
+                    ok=False, error=_describe(exc))
     elif kind == "experiment":
         from ..experiments import run_selected
         engine = EvalEngine(jobs=engine_jobs,

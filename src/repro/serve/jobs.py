@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 #: Every kind the service executes (see ``repro.serve.executor``).
 JOB_KINDS = ("augment", "train", "evaluate", "infer", "simulate",
-             "experiment")
+             "experiment", "probe")
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -278,6 +278,33 @@ def _normalize_simulate(spec: dict) -> dict:
             "vcd": bool(spec.get("vcd", False))}
 
 
+#: Probe payloads are admission-tested data, not work — keep them small.
+_PROBE_PAYLOAD_LIMIT = 16 * 1024
+
+
+def _normalize_probe(spec: dict) -> dict:
+    """Near-zero-cost serving probe: echo a payload (+ its sha256).
+
+    The serving-tier benchmarks and health checks need a job whose
+    execution cost is negligible next to the gateway/journal path being
+    measured.  ``sleep_ms`` (optional) simulates a long-running job for
+    drain/kill scenarios; it is excluded from the result blob so the
+    determinism contract holds.
+    """
+    import json as _json
+    payload = spec.get("payload", "")
+    try:
+        encoded = _json.dumps(payload, sort_keys=True)
+    except (TypeError, ValueError):
+        raise SpecError("'payload' must be JSON-serialisable") from None
+    _require(len(encoded) <= _PROBE_PAYLOAD_LIMIT,
+             f"'payload' must encode to <= {_PROBE_PAYLOAD_LIMIT} bytes")
+    sleep_ms = _as_int(spec, "sleep_ms", 0)
+    _require(0 <= sleep_ms <= 60000,
+             "'sleep_ms' must be between 0 and 60000")
+    return {"payload": payload, "sleep_ms": sleep_ms}
+
+
 def _normalize_experiment(spec: dict) -> dict:
     from ..experiments import EXPERIMENTS
     name = spec.get("name")
@@ -294,6 +321,7 @@ _NORMALIZERS = {
     "infer": _normalize_infer,
     "simulate": _normalize_simulate,
     "experiment": _normalize_experiment,
+    "probe": _normalize_probe,
 }
 
 

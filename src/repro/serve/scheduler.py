@@ -40,7 +40,8 @@ from .jobs import CANCELLED, DONE, FAILED, Job
 #: machine busy without oversubscription; simulations are single-design
 #: and cheap enough to overlap.
 DEFAULT_BUDGETS = {"augment": 1, "train": 1, "evaluate": 1,
-                   "infer": 1, "simulate": 2, "experiment": 1}
+                   "infer": 1, "simulate": 2, "experiment": 1,
+                   "probe": 2}
 
 #: Jobs grouped into one shared run, at most.
 DEFAULT_BATCH_LIMIT = 8

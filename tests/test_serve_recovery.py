@@ -111,11 +111,12 @@ class _DirectRuns:
 # --------------------------------------------------------------------------
 
 def _spawn(store: str, crash_after: int | None = None,
-           crash_mode: str | None = None):
+           crash_mode: str | None = None, gateway: bool = False):
     """Start ``repro serve`` on an ephemeral port; returns (proc, url).
 
     ``url`` is None if the daemon died before binding (possible when a
-    crash point lands inside recovery itself).
+    crash point lands inside recovery itself).  ``gateway=True`` runs
+    the asyncio front end (same API surface, same store semantics).
     """
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -124,9 +125,12 @@ def _spawn(store: str, crash_after: int | None = None,
     if crash_after:
         env[CRASH_AFTER_ENV] = str(crash_after)
         env[CRASH_MODE_ENV] = crash_mode or "kill"
+    command = [sys.executable, "-m", "repro", "serve", "--store", store,
+               "--port", "0", "--workers", "2"]
+    if gateway:
+        command.append("--gateway")
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--store", store,
-         "--port", "0", "--workers", "2"],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env=env, cwd=REPO)
     url = None
@@ -177,12 +181,12 @@ def _wait_all_done(client: ServeClient, timeout: float = 180.0) -> list:
 
 
 def _crash_round(tmp_path, direct: _DirectRuns, crash_after: int,
-                 crash_mode: str) -> None:
+                 crash_mode: str, gateway: bool = False) -> None:
     """One kill-and-resume cycle; asserts the full contract."""
     store = os.path.join(str(tmp_path), f"store-{crash_mode}-{crash_after}")
     corpus = _corpus(tmp_path)
     proc, url = _spawn(store, crash_after=crash_after,
-                       crash_mode=crash_mode)
+                       crash_mode=crash_mode, gateway=gateway)
     acked = []
     try:
         if url is not None:
@@ -204,7 +208,7 @@ def _crash_round(tmp_path, direct: _DirectRuns, crash_after: int,
     finally:
         _stop(proc)
 
-    proc, url = _spawn(store)
+    proc, url = _spawn(store, gateway=gateway)
     try:
         assert url is not None, "restarted daemon failed to serve"
         client = ServeClient(url, timeout=10.0)
@@ -433,12 +437,18 @@ class TestStoreRecoveryUnits:
             ["job-000001", "job-000002", "job-000003"]
         reopened.close()
 
+    # Blobs over INLINE_RESULT_LIMIT take the result-file path; the
+    # lost/corrupt-file recovery below only applies to them (small
+    # blobs ride inside the fsync'd done event and cannot be lost
+    # separately from it).
+    BIG_BLOB = {"ok": True, "pad": "x" * (JobStore.INLINE_RESULT_LIMIT)}
+
     def test_done_without_result_blob_requeues(self, tmp_path):
         root = str(tmp_path / "store")
         store = JobStore(root)
         job = store.submit("simulate", {"source": TB_PASS})
         store.mark_running(job.id)
-        store.mark_done(job.id, {"ok": True})
+        store.mark_done(job.id, self.BIG_BLOB)
         store._journal.close()
         os.unlink(os.path.join(root, "results", f"{job.id}.json"))
         reopened = JobStore(root)
@@ -451,7 +461,7 @@ class TestStoreRecoveryUnits:
         store = JobStore(root)
         job = store.submit("simulate", {"source": TB_PASS})
         store.mark_running(job.id)
-        store.mark_done(job.id, {"ok": True})
+        store.mark_done(job.id, self.BIG_BLOB)
         store._journal.close()
         with open(os.path.join(root, "results", f"{job.id}.json"),
                   "w", encoding="utf-8") as handle:
@@ -459,6 +469,26 @@ class TestStoreRecoveryUnits:
         reopened = JobStore(root)
         assert reopened.jobs[job.id].state == QUEUED
         reopened.close()
+
+    def test_inline_result_survives_reload_and_compaction(self, tmp_path):
+        """Small blobs journal inline with the done event: no result
+        file, same result() payload across replay *and* across a clean
+        close (snapshot + journal compaction)."""
+        root = str(tmp_path / "store")
+        store = JobStore(root)
+        job = store.submit("simulate", {"source": TB_PASS})
+        store.mark_running(job.id)
+        store.mark_done(job.id, {"ok": True, "n": 7})
+        assert not os.path.exists(
+            os.path.join(root, "results", f"{job.id}.json"))
+        store._journal.close()      # hard stop: replay from journal
+        reopened = JobStore(root)
+        assert reopened.jobs[job.id].state == DONE
+        assert reopened.result(job.id) == {"ok": True, "n": 7}
+        reopened.close()            # compaction: snapshot-only now
+        again = JobStore(root)
+        assert again.result(job.id) == {"ok": True, "n": 7}
+        again.close()
 
     def test_running_jobs_requeue_on_reopen(self, tmp_path):
         root = str(tmp_path / "store")
