@@ -684,10 +684,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--top")
     p.add_argument("--vcd", help="write VCD waveform to this path")
-    p.add_argument("--sim-backend", choices=("compiled", "interp"),
+    p.add_argument("--sim-backend", choices=("compiled", "codegen", "interp"),
                    default=None,
                    help="simulator backend (default: compiled, with "
-                        "automatic fallback to the interpreter)")
+                        "automatic fallback to the interpreter; "
+                        "'codegen' emits an importable Python module "
+                        "per design and caches its source on disk, so "
+                        "warm pool workers never re-lower)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("synth", help="gate-level synthesis report")
@@ -864,7 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(generation suites; default low,middle,high)")
     p.add_argument("--seed", type=int, default=0,
                    help="benchmark-construction seed (repair suite)")
-    p.add_argument("--sim-backend", choices=("compiled", "interp"),
+    p.add_argument("--sim-backend", choices=("compiled", "codegen", "interp"),
                    default=None,
                    help="simulator backend for testbench verdicts "
                         "(default: compiled, with automatic fallback "
@@ -976,7 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--k", type=int, default=5)
     k.add_argument("--levels")
     k.add_argument("--seed", type=int, default=0)
-    k.add_argument("--sim-backend", choices=("compiled", "interp"),
+    k.add_argument("--sim-backend", choices=("compiled", "codegen", "interp"),
                    default=None)
 
     k = kinds.add_parser("infer",
@@ -997,7 +1000,7 @@ def build_parser() -> argparse.ArgumentParser:
     k = kinds.add_parser("simulate", help="simulation job")
     k.add_argument("file", help="Verilog file (inlined into the spec)")
     k.add_argument("--top")
-    k.add_argument("--sim-backend", choices=("compiled", "interp"),
+    k.add_argument("--sim-backend", choices=("compiled", "codegen", "interp"),
                    default=None)
     k.add_argument("--vcd", action="store_true",
                    help="include VCD text in the result blob")
@@ -1054,7 +1057,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=None)
     p.add_argument("--k", type=int, default=5)
     p.add_argument("--levels")
-    p.add_argument("--sim-backend", choices=("compiled", "interp"),
+    p.add_argument("--sim-backend", choices=("compiled", "codegen", "interp"),
                    default=None)
     p.add_argument("--priority", type=int, default=0)
     p.add_argument("--no-wait", action="store_true",

@@ -23,7 +23,7 @@ from ..bench.problems import PROMPT_LEVELS, Problem
 from ..checker import check_source
 from ..llm.behavioral import BehavioralModel
 from ..scale.cache import LRUCache
-from ..sim import DEFAULT_BACKEND, run_testbench
+from ..sim import DEFAULT_BACKEND, run_testbench, run_testbench_batch
 from .passk import pass_at_k
 
 
@@ -110,6 +110,23 @@ _CACHE: LRUCache[tuple[str, str], CandidateResult] = \
     LRUCache(maxsize=_CANDIDATE_CACHE_SIZE)
 
 
+def _candidate_key(code: str, problem: Problem,
+                   backend: str) -> tuple[str, str, str]:
+    # The verdict depends on the candidate AND the problem's testbench —
+    # hashing both keeps memoisation honest if a problem is edited
+    # in-process under an unchanged name.
+    return (problem.name, backend,
+            hashlib.sha256(f"{problem.testbench}\x1f{code}"
+                           .encode()).hexdigest())
+
+
+def _verdict_result(verdict) -> CandidateResult:
+    if not verdict.ok:
+        return CandidateResult(syntax_ok=True, pass_fraction=0.0)
+    return CandidateResult(syntax_ok=True,
+                           pass_fraction=verdict.pass_fraction)
+
+
 def evaluate_candidate(code: str, problem: Problem,
                        sim_backend: str | None = None) -> CandidateResult:
     """Syntax-check then simulate one candidate against the testbench.
@@ -119,12 +136,7 @@ def evaluate_candidate(code: str, problem: Problem,
     it — but the backend is part of the memoisation key for honesty.
     """
     backend = sim_backend or DEFAULT_BACKEND
-    # The verdict depends on the candidate AND the problem's testbench —
-    # hashing both keeps memoisation honest if a problem is edited
-    # in-process under an unchanged name.
-    key = (problem.name, backend,
-           hashlib.sha256(f"{problem.testbench}\x1f{code}"
-                          .encode()).hexdigest())
+    key = _candidate_key(code, problem, backend)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
@@ -133,13 +145,45 @@ def evaluate_candidate(code: str, problem: Problem,
         result = CandidateResult(syntax_ok=False, pass_fraction=0.0)
     else:
         verdict = run_testbench(code, problem.testbench, backend=backend)
-        if not verdict.ok:
-            result = CandidateResult(syntax_ok=True, pass_fraction=0.0)
-        else:
-            result = CandidateResult(syntax_ok=True,
-                                     pass_fraction=verdict.pass_fraction)
+        result = _verdict_result(verdict)
     _CACHE.put(key, result)
     return result
+
+
+def evaluate_candidates(codes: list[str], problem: Problem,
+                        sim_backend: str | None = None
+                        ) -> list[CandidateResult]:
+    """Vectorized :func:`evaluate_candidate` over one shared testbench.
+
+    Evaluation's dominant pattern — many sampled candidates × one
+    bench — routes through :func:`repro.sim.run_testbench_batch`, which
+    parses the testbench once and shares its module list across every
+    candidate elaboration.  Memoisation keys, verdicts and cache-digest
+    space are identical to per-candidate calls, so batched and serial
+    sweeps stay byte-identical.
+    """
+    backend = sim_backend or DEFAULT_BACKEND
+    results: dict[int, CandidateResult] = {}
+    to_sim: list[tuple[int, str]] = []
+    for pos, code in enumerate(codes):
+        cached = _CACHE.get(_candidate_key(code, problem, backend))
+        if cached is not None:
+            results[pos] = cached
+        elif not check_source(code, f"./{problem.name}.v").ok:
+            result = CandidateResult(syntax_ok=False, pass_fraction=0.0)
+            _CACHE.put(_candidate_key(code, problem, backend), result)
+            results[pos] = result
+        else:
+            to_sim.append((pos, code))
+    if to_sim:
+        verdicts = run_testbench_batch([code for _, code in to_sim],
+                                       problem.testbench,
+                                       backend=backend)
+        for (pos, code), verdict in zip(to_sim, verdicts):
+            result = _verdict_result(verdict)
+            _CACHE.put(_candidate_key(code, problem, backend), result)
+            results[pos] = result
+    return [results[pos] for pos in range(len(codes))]
 
 
 def evaluate_cell(model: BehavioralModel, problem: Problem, level: str,
@@ -153,9 +197,8 @@ def evaluate_cell(model: BehavioralModel, problem: Problem, level: str,
     syntax_errors = 0
     passes = 0
     best = 0.0
-    for code in samples:
-        outcome = evaluate_candidate(code, problem,
-                                     sim_backend=sim_backend)
+    for outcome in evaluate_candidates(list(samples), problem,
+                                       sim_backend=sim_backend):
         if not outcome.syntax_ok:
             syntax_errors += 1
         if outcome.passed:

@@ -115,14 +115,31 @@ class ServeClient:
         One batched ``/api/jobs?ids=…`` query per tick — waiting on an
         N-job DAG is O(1) requests per poll, not O(N).  Returns
         ``id → job dict``; raises :class:`TimeoutError` if the deadline
-        passes first.
+        passes first.  A gateway 429 (admission backpressure) does not
+        escape the loop: the client sleeps the advertised
+        ``Retry-After`` (capped by the remaining deadline) and retries
+        the batched query.
         """
         deadline = time.monotonic() + timeout
         jobs: dict[str, dict] = {}
         pending = list(job_ids)
         while pending:
             seen = set()
-            for job in self.jobs(ids=pending):
+            try:
+                batch = self.jobs(ids=pending)
+            except ServeError as exc:
+                if exc.status != 429:
+                    raise
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"jobs not terminal after {timeout}s "
+                        f"(rate-limited): {', '.join(pending)}") \
+                        from None
+                delay = exc.retry_after if exc.retry_after else poll
+                time.sleep(max(0.0, min(delay, remaining)))
+                continue
+            for job in batch:
                 seen.add(job["id"])
                 if job["state"] in TERMINAL_STATES:
                     jobs[job["id"]] = job

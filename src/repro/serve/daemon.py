@@ -287,6 +287,8 @@ class Daemon:
                 "fallbacks": stats.fallbacks,
                 "compiles": stats.compiles,
                 "cache_hits": stats.cache_hits,
+                "codegen_hits": stats.codegen_hits,
+                "codegen_misses": stats.codegen_misses,
             },
         }
 

@@ -249,7 +249,7 @@ def _normalize_evaluate(spec: dict) -> dict:
     else:
         levels = []
     backend = spec.get("sim_backend")
-    _require(backend in (None, "compiled", "interp"),
+    _require(backend in (None, "compiled", "codegen", "interp"),
              f"unknown sim backend '{backend}'")
     samples = spec.get("samples")
     if samples is None:
@@ -268,8 +268,11 @@ def _normalize_simulate(spec: dict) -> dict:
     source = spec.get("source")
     _require(isinstance(source, str) and source.strip(),
              "'source' must be non-empty Verilog text")
-    backend = spec.get("backend")
-    _require(backend in (None, "compiled", "interp"),
+    # Accept "sim_backend" too: evaluate specs (and every CLI flag)
+    # spell it that way, and silently dropping it here sent explicit
+    # backend choices to the default.
+    backend = spec.get("backend", spec.get("sim_backend"))
+    _require(backend in (None, "compiled", "codegen", "interp"),
              f"unknown sim backend '{backend}'")
     top = spec.get("top")
     _require(top is None or isinstance(top, str),

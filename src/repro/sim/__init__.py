@@ -3,16 +3,22 @@
 Public API:
 
 * :func:`run_simulation` — parse + elaborate + simulate a source string
-  (``backend="compiled"|"interp"``; compiled is the default and falls
-  back to the interpreter on unsupported constructs);
+  (``backend="compiled"|"codegen"|"interp"``; compiled is the default
+  and both compiling backends fall back to the interpreter on
+  unsupported constructs);
 * :func:`run_testbench` — simulate design + self-checking testbench and
-  count PASS/FAIL vectors;
+  count PASS/FAIL vectors; :func:`run_testbench_batch` scores many
+  candidates against one shared (parsed-once) testbench;
 * :class:`Value` — four-state bit-vector values;
 * :func:`elaborate` / :class:`Simulator` — the interpreter pieces;
 * :func:`compile_design` / :class:`CompiledSimulator` — the compiling
-  backend (see :mod:`repro.sim.compile`).
+  backend (see :mod:`repro.sim.compile`);
+* :func:`generate_module` / :func:`load_generated` — the codegen
+  backend's source emitter and loader (see :mod:`repro.sim.codegen`).
 """
 
+from .codegen import (SIM_CODEGEN_VERSION, CodegenUnsupported,
+                      codegen_key, generate_module, load_generated)
 from .compile import (SIM_COMPILE_VERSION, BackendStats,
                       CompiledDesign, CompiledDesignCache,
                       CompiledSimulator, CompileUnsupported,
@@ -23,18 +29,21 @@ from .elaborate import Design, ElaborationError, Signal, elaborate
 from .engine import SimulationError, SimulationTimeout, Simulator
 from .testbench import (BACKENDS, DEFAULT_BACKEND, SimResult,
                         TestbenchVerdict, find_top, run_simulation,
-                        run_testbench)
+                        run_testbench, run_testbench_batch)
 from .values import Value, from_literal
 from .vcd import Tracer
 
 __all__ = [
     "Value", "from_literal", "elaborate", "Design", "Signal",
     "Simulator", "SimulationError", "SimulationTimeout",
-    "ElaborationError", "run_simulation", "run_testbench", "find_top",
+    "ElaborationError", "run_simulation", "run_testbench",
+    "run_testbench_batch", "find_top",
     "SimResult", "TestbenchVerdict", "Tracer",
     "BACKENDS", "DEFAULT_BACKEND", "SIM_COMPILE_VERSION",
-    "BackendStats", "CompileUnsupported", "CompiledDesign",
+    "SIM_CODEGEN_VERSION", "BackendStats", "CompileUnsupported",
+    "CodegenUnsupported", "CompiledDesign",
     "CompiledDesignCache", "CompiledSimulator", "backend_stats",
-    "compile_design", "configure_design_cache", "design_cache",
+    "codegen_key", "compile_design", "configure_design_cache",
+    "design_cache", "generate_module", "load_generated",
     "reset_backend_stats", "source_digest",
 ]

@@ -43,6 +43,8 @@ from collections import deque
 from dataclasses import dataclass, field
 import heapq
 import json
+import os
+import sys
 import threading
 
 from ..scale.cache import LRUCache, ManifestCache
@@ -89,13 +91,16 @@ class BackendStats:
     MAX_REASONS = 64
 
     _COUNTERS = ("compiled_runs", "interp_runs", "fallbacks",
-                 "compiles", "cache_hits")
+                 "compiles", "cache_hits", "codegen_hits",
+                 "codegen_misses")
 
     compiled_runs: int = 0        #: simulations served by the compiled backend
     interp_runs: int = 0          #: simulations explicitly run interpreted
     fallbacks: int = 0            #: compiled requests that fell back
     compiles: int = 0             #: actual lowering passes executed
-    cache_hits: int = 0           #: compiled-design cache hits
+    cache_hits: int = 0           #: compiled-design cache hits (in-memory)
+    codegen_hits: int = 0         #: generated-source disk-cache hits
+    codegen_misses: int = 0       #: generated-source disk-cache misses
     fallback_reasons: dict[str, int] = field(default_factory=dict)
 
     def record_fallback(self, reason: str) -> None:
@@ -143,7 +148,9 @@ class BackendStats:
                 f"{self.interp_runs} interpreted / "
                 f"{self.fallbacks} fallback(s), "
                 f"{self.compiles} compile(s), "
-                f"{self.cache_hits} cache hit(s)")
+                f"{self.cache_hits} cache hit(s), "
+                f"{self.codegen_hits}/{self.codegen_misses} "
+                f"gen-source hit/miss")
 
 
 _STATS_LOCAL = threading.local()
@@ -1816,6 +1823,10 @@ class CompiledSimulator:
             else:
                 state = _CState(proc.genfunc(self), proc.label)
                 self._active.append(("resume", state))
+        # Interned per-assign event tuples: set_slot re-queues these on
+        # every dependency change instead of allocating fresh 2-tuples.
+        self._assign_events = [("assign", proc.index)
+                               for proc in self._assigns]
 
     # -- budget ----------------------------------------------------------
 
@@ -1846,21 +1857,17 @@ class CompiledSimulator:
         if self.tracer is not None:
             self.tracer.record(self.compiled.names[slot], self.time,
                                value)
-        self._notify(slot, old, value)
-
-    def set_element(self, slot: int, index: int, value: V.Value) -> None:
-        array = self.arrays[slot]
-        signal = self.design.signals[self.compiled.names[slot]]
-        if array.get(index, V.Value.unknown(signal.width)) == value:
-            return
-        array[index] = value
-        self._notify_array(slot)
-
-    def _notify(self, slot: int, old: V.Value, new: V.Value) -> None:
-        for index in self._assign_watchers[slot]:
-            if index not in self._assign_pending:
-                self._assign_pending.add(index)
-                self._active.append(("assign", index))
+        # Notify logic inlined (formerly _notify): this runs on nearly
+        # every slot write, and the call overhead alone was measurable.
+        watchers = self._assign_watchers[slot]
+        if watchers:
+            pending = self._assign_pending
+            active = self._active
+            events = self._assign_events
+            for index in watchers:
+                if index not in pending:
+                    pending.add(index)
+                    active.append(events[index])
         waiters = self._slot_waiters[slot]
         if not waiters:
             return
@@ -1870,9 +1877,10 @@ class CompiledSimulator:
         # differential harness pins.
         prev1 = old.val & 1
         prevx = old.xz & 1
-        new1 = new.val & 1
-        newx = new.xz & 1
+        new1 = value.val & 1
+        newx = value.xz & 1
         still = []
+        active = self._active
         for waiter in waiters:
             if waiter.fired:
                 continue
@@ -1892,10 +1900,18 @@ class CompiledSimulator:
                     break
             if fired:
                 waiter.fired = True
-                self._active.append(waiter.event)
+                active.append(waiter.event)
             else:
                 still.append(waiter)
         self._slot_waiters[slot] = still
+
+    def set_element(self, slot: int, index: int, value: V.Value) -> None:
+        array = self.arrays[slot]
+        signal = self.design.signals[self.compiled.names[slot]]
+        if array.get(index, V.Value.unknown(signal.width)) == value:
+            return
+        array[index] = value
+        self._notify_array(slot)
 
     def _notify_array(self, slot: int) -> None:
         for index in self._assign_watchers[slot]:
@@ -1913,8 +1929,9 @@ class CompiledSimulator:
 
     def _schedule(self, delay: int, action) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.time + max(delay, 0),
-                                    self._seq, action))
+        heapq.heappush(self._heap,
+                       (self.time + (delay if delay > 0 else 0),
+                        self._seq, action))
 
     def schedule_nba(self, ticks: int, writer, value, frame) -> None:
         self._schedule(ticks, ("nba_future", (writer, value, frame)))
@@ -1928,41 +1945,18 @@ class CompiledSimulator:
         for slot in spec.slots:
             waiters[slot].append(waiter)
 
-    def _resume(self, state: _CState) -> None:
-        try:
-            request = next(state.gen)
-        except StopIteration:
-            return
-        except _Finish:
-            return
-        if request[0] == "delay":
-            self._schedule(request[1], ("resume", state))
-        else:   # ("wait", entries)
-            self._park(request[1], ("resume", state))
-
-    def _run_reactive(self, proc: _CReactive) -> None:
-        self._steps += proc.cost
-        if self._steps > self._step_budget:
-            raise SimulationTimeout("simulation step budget exhausted",
-                                    process=self._current_label,
-                                    delta=self._delta)
-        try:
-            if proc.body is not None:
-                proc.body(self, None)
-        except _Finish:
-            return                     # process ends; never re-arms
-        self._park(proc.entries, ("react", proc))
-
     def run(self, max_time: int = 1_000_000) -> None:
         """Run until $finish, event exhaustion, or ``max_time``."""
         active = self._active
+        max_delta = self._max_delta
+        step_budget = self._step_budget
         while True:
             delta = 0
             while active or self._nba:
                 while active:
                     delta += 1
                     self._delta = delta
-                    if delta > self._max_delta:
+                    if delta > max_delta:
                         raise SimulationTimeout(
                             f"delta overflow at time {self.time}",
                             process=self._current_label, delta=delta)
@@ -1975,17 +1969,39 @@ class CompiledSimulator:
                         self._current_label = proc.label
                         self._assign_pending.discard(event[1])
                         self._steps += proc.cost
-                        if self._steps > self._step_budget:
+                        if self._steps > step_budget:
                             raise SimulationTimeout(
                                 "simulation step budget exhausted",
                                 process=proc.label, delta=delta)
                         proc.writer(self, None, proc.rhs(self, None))
                     elif kind == "resume":
-                        self._current_label = event[1].label
-                        self._resume(event[1])
+                        state = event[1]
+                        self._current_label = state.label
+                        try:
+                            request = next(state.gen)
+                        except (StopIteration, _Finish):
+                            continue
+                        # Re-park/reschedule with the *same* event tuple
+                        # — identical content, one allocation per
+                        # process instead of one per suspension.
+                        if request[0] == "delay":
+                            self._schedule(request[1], event)
+                        else:   # ("wait", spec)
+                            self._park(request[1], event)
                     elif kind == "react":
-                        self._current_label = event[1].label
-                        self._run_reactive(event[1])
+                        proc = event[1]
+                        self._current_label = proc.label
+                        self._steps += proc.cost
+                        if self._steps > step_budget:
+                            raise SimulationTimeout(
+                                "simulation step budget exhausted",
+                                process=proc.label, delta=delta)
+                        try:
+                            if proc.body is not None:
+                                proc.body(self, None)
+                        except _Finish:
+                            continue   # process ends; never re-arms
+                        self._park(proc.entries, event)
                     else:   # "arm"
                         self._current_label = event[1].label
                         self._park(event[1].entries,
@@ -2050,11 +2066,42 @@ def source_digest(source_text: str, top: str | None) -> str:
 
 
 def _cache_fingerprint() -> str:
+    # Fold in the Python major.minor: generated-source artefacts are
+    # Python modules, so an interpreter upgrade must invalidate them —
+    # and the verdict layer gets the same guard (an "unsupported"
+    # verdict can flip when the lowerer runs on a newer Python).
+    pyv = f"{sys.version_info[0]}.{sys.version_info[1]}"
     return hashlib.sha256(
-        f"repro.sim.compile\x1f{SIM_COMPILE_VERSION}".encode()).hexdigest()
+        f"repro.sim.compile\x1f{SIM_COMPILE_VERSION}\x1f{pyv}"
+        .encode()).hexdigest()
 
 
-class _CompileMetaCache(ManifestCache):
+class _MergeOnFlushCache(ManifestCache):
+    """ManifestCache that merges the on-disk index before rewriting.
+
+    Concurrent pool workers each hold a partial in-memory view, so a
+    plain whole-manifest rewrite would drop the other workers' entries.
+    Entries are content-addressed and idempotent, so merging the
+    on-disk index first makes the disjoint-digest case lossless (the
+    residual read-modify-write race only costs a future recompute).
+    """
+
+    def flush(self) -> None:
+        try:
+            with open(self._manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            manifest = None
+        if (manifest is not None
+                and manifest.get("version") == self.version
+                and manifest.get("fingerprint") == self.fingerprint):
+            for slot, entry in manifest.get(self.entries_field,
+                                            {}).items():
+                self._entries.setdefault(slot, entry)
+        super().flush()
+
+
+class _CompileMetaCache(_MergeOnFlushCache):
     """Persistent compile-verdict layer (ManifestCache of JSON blobs).
 
     Closures cannot cross a process boundary or survive a restart, so
@@ -2081,43 +2128,61 @@ class _CompileMetaCache(ManifestCache):
             raise ValueError("unrecognised compile-verdict blob")
         return blob
 
-    def flush(self) -> None:
-        """Merge-on-flush: concurrent pool workers each hold a partial
-        in-memory view, so a plain whole-manifest rewrite would drop
-        the other workers' verdicts.  Entries are content-addressed
-        and idempotent, so merging the on-disk index first makes the
-        disjoint-digest case lossless (the residual read-modify-write
-        race only costs a future recompute)."""
-        try:
-            with open(self._manifest_path, encoding="utf-8") as handle:
-                manifest = json.load(handle)
-        except (OSError, ValueError):
-            manifest = None
-        if (manifest is not None
-                and manifest.get("version") == self.version
-                and manifest.get("fingerprint") == self.fingerprint):
-            for slot, entry in manifest.get(self.entries_field,
-                                            {}).items():
-                self._entries.setdefault(slot, entry)
-        super().flush()
+
+class _GenSourceCache(_MergeOnFlushCache):
+    """Persistent generated-source layer: one ``.py`` file per design.
+
+    Unlike closures, the codegen backend's artefact is a plain module
+    source string — it survives a process boundary, so warm pool
+    workers ``exec`` it instead of re-lowering.  Entries are keyed by
+    :func:`repro.sim.codegen.codegen_key` (source digest + codegen
+    version + Python major.minor), stored verbatim as importable
+    Python text for debuggability.
+    """
+
+    version = SIM_COMPILE_VERSION
+    subdir = "entries"
+    file_prefix = "gen-"
+    file_suffix = ".py"
+
+    def _encode(self, payload: str) -> str:
+        return payload
+
+    def _decode(self, text: str) -> str:
+        if "def build" not in text:
+            raise ValueError("unrecognised generated-source blob")
+        return text
 
 
 class CompiledDesignCache:
     """Two-layer cache of compiled designs, keyed by source digest.
 
-    * **in-memory**: an LRU of :class:`CompiledDesign` artefacts — the
-      layer that makes ``repro evaluate`` compile each testbench/
-      reference pair once across models, levels and samples;
-    * **persistent** (optional, ``root=``): a manifest-indexed store of
-      *unsupported* verdicts; entries whose key no longer matches
-      (source edited, or :data:`SIM_COMPILE_VERSION` bumped) degrade
-      to misses.
+    * **in-memory**: an LRU of artefacts — closure
+      :class:`CompiledDesign` objects under the bare digest, loaded
+      codegen artefacts under a ``g\\x1f`` prefix — the layer that
+      makes ``repro evaluate`` compile each testbench/reference pair
+      once across models, levels and samples;
+    * **persistent** (optional, ``root=``): a manifest-indexed store
+      of *unsupported* verdicts plus a generated-source store
+      (``<root>/gen``) of importable Python modules emitted by
+      :mod:`repro.sim.codegen` — the layer that lets a warm pool
+      worker skip parse, elaborate *and* lowering entirely.  Entries
+      whose key no longer matches (source edited,
+      :data:`SIM_COMPILE_VERSION` bumped, or the Python major.minor
+      changed) degrade to misses.
     """
 
     def __init__(self, maxsize: int = 256, root: str | None = None):
-        self._lru: LRUCache[str, CompiledDesign] = LRUCache(maxsize)
+        self._lru: LRUCache[str, object] = LRUCache(maxsize)
         self._meta = (_CompileMetaCache(root, _cache_fingerprint())
                       if root else None)
+        self._gen = (_GenSourceCache(os.path.join(root, "gen"),
+                                     _cache_fingerprint())
+                     if root else None)
+        # In-memory only: codegen-unsupported designs may still lower
+        # fine on the closure backend, so this memo never reaches the
+        # shared verdict layer.
+        self._codegen_unsupported: dict[str, str] = {}
 
     def get(self, digest: str) -> CompiledDesign | None:
         return self._lru.get(digest)
@@ -2142,22 +2207,71 @@ class CompiledDesignCache:
                 "stats": {}})
             self._meta.flush()
 
+    # -- codegen artefacts ------------------------------------------------
+
+    def get_codegen(self, digest: str):
+        """In-memory loaded codegen artefact for ``digest`` (or None)."""
+        return self._lru.get("g\x1f" + digest)
+
+    def put_codegen(self, digest: str, compiled) -> None:
+        self._lru.put("g\x1f" + digest, compiled)
+
+    def gen_source(self, digest: str, key: str) -> str | None:
+        """Persisted generated-module source for ``digest`` (or None).
+
+        ``key`` is :func:`repro.sim.codegen.codegen_key` — the digest
+        extended with the codegen version and Python major.minor, so a
+        stale artefact can never be exec'd by a newer interpreter.
+        """
+        if self._gen is None:
+            return None
+        return self._gen.lookup(digest[:16], key)
+
+    def put_gen_source(self, digest: str, key: str, source: str) -> None:
+        if self._gen is not None:
+            self._gen.store(digest[:16], key, source)
+            self._gen.flush()
+
+    def gen_counters(self) -> dict[str, int]:
+        """Hit/miss counters of the persistent gen-source layer."""
+        if self._gen is None:
+            return {"hits": 0, "misses": 0}
+        return {"hits": self._gen.hits, "misses": self._gen.misses}
+
+    def codegen_unsupported(self, digest: str) -> str | None:
+        return self._codegen_unsupported.get(digest)
+
+    def record_codegen_unsupported(self, digest: str,
+                                   reason: str) -> None:
+        if len(self._codegen_unsupported) < 4096:
+            self._codegen_unsupported[digest] = reason
+
     def clear(self) -> None:
         self._lru.clear()
+        self._codegen_unsupported.clear()
 
 
 #: Process-wide default cache (in-memory only until configured).
+#: Guarded by ``_CACHE_LOCK``: daemon worker threads read it while any
+#: thread may call :func:`configure_design_cache` — the swap must be
+#: atomic, and each run binds the cache reference exactly once.
+_CACHE_LOCK = threading.Lock()
 _DESIGN_CACHE = CompiledDesignCache()
 
 
 def design_cache() -> CompiledDesignCache:
-    return _DESIGN_CACHE
+    with _CACHE_LOCK:
+        return _DESIGN_CACHE
 
 
 def configure_design_cache(maxsize: int = 256,
                            root: str | None = None) -> CompiledDesignCache:
     """Replace the process-wide cache (e.g. to attach a persistent
-    verdict layer under ``root``); returns the new cache."""
+    verdict layer under ``root``); returns the new cache.  The swap is
+    atomic under a module lock: in-flight ``run_simulation`` calls
+    bound the old cache once at entry and finish safely against it."""
     global _DESIGN_CACHE
-    _DESIGN_CACHE = CompiledDesignCache(maxsize=maxsize, root=root)
-    return _DESIGN_CACHE
+    cache = CompiledDesignCache(maxsize=maxsize, root=root)
+    with _CACHE_LOCK:
+        _DESIGN_CACHE = cache
+    return cache

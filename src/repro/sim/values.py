@@ -35,12 +35,16 @@ class Value:
     __slots__ = ("width", "val", "xz")
 
     def __init__(self, width: int, val: int, xz: int = 0):
-        mask = (1 << width) - 1
-        xz &= mask
         self.width = width
-        self.xz = xz
-        # Keep unknown bits of val at zero so (val, xz) is canonical.
-        self.val = val & mask & ~xz
+        if xz:
+            mask = (1 << width) - 1
+            xz &= mask
+            self.xz = xz
+            # Keep unknown bits of val at zero so (val, xz) is canonical.
+            self.val = val & mask & ~xz
+        else:
+            self.xz = 0
+            self.val = val & ((1 << width) - 1)
 
     def __eq__(self, other):
         if not isinstance(other, Value):
@@ -65,7 +69,7 @@ class Value:
     @staticmethod
     def of(value: int, width: int) -> Value:
         """A fully-known value (two's complement wrap into ``width`` bits)."""
-        return Value(width=width, val=value & _mask(width))
+        return Value(width=width, val=value)
 
     @staticmethod
     def unknown(width: int) -> Value:
@@ -131,14 +135,15 @@ class Value:
     # -- bit access ------------------------------------------------------
 
     def select_bit(self, index: Value | int) -> Value:
-        if isinstance(index, Value):
-            if index.has_unknown:
-                return Value.unknown(1)
-            index = index.to_int()
+        if type(index) is Value:
+            if index.xz:
+                return _BX
+            index = index.val
         if index < 0 or index >= self.width:
-            return Value.unknown(1)
-        return Value(width=1, val=(self.val >> index) & 1,
-                     xz=(self.xz >> index) & 1)
+            return _BX
+        if (self.xz >> index) & 1:
+            return _BX
+        return _B1 if (self.val >> index) & 1 else _B0
 
     def select_range(self, msb: int, lsb: int) -> Value:
         """Select bits [msb:lsb] (already normalised to 0-based offsets)."""
@@ -167,6 +172,14 @@ class Value:
 
 #: Shared all-unknown values per width (immutable, so safe to share).
 _UNKNOWN: dict[int, Value] = {}
+
+#: Interned single-bit values — 1-bit vectors have exactly three
+#: canonical states, and they are by far the hottest allocation in both
+#: simulator backends (bit selects, comparisons, logic ops, 1-bit regs).
+_B0 = Value(1, 0)
+_B1 = Value(1, 1)
+_BX = Value(1, 0, 1)
+_UNKNOWN[1] = _BX
 
 
 # --------------------------------------------------------------------------
@@ -228,21 +241,24 @@ def _all_unknown_if(a: Value, b: Value, width: int) -> Value | None:
 
 
 def add(a: Value, b: Value) -> Value:
-    width = _arith_width(a, b)
-    unknown = _all_unknown_if(a, b, width)
-    return unknown or Value.of(a.val + b.val, width)
+    width = a.width if a.width >= b.width else b.width
+    if a.xz or b.xz:
+        return Value.unknown(width)
+    return Value(width, a.val + b.val)
 
 
 def sub(a: Value, b: Value) -> Value:
-    width = _arith_width(a, b)
-    unknown = _all_unknown_if(a, b, width)
-    return unknown or Value.of(a.val - b.val, width)
+    width = a.width if a.width >= b.width else b.width
+    if a.xz or b.xz:
+        return Value.unknown(width)
+    return Value(width, a.val - b.val)
 
 
 def mul(a: Value, b: Value) -> Value:
-    width = _arith_width(a, b)
-    unknown = _all_unknown_if(a, b, width)
-    return unknown or Value.of(a.val * b.val, width)
+    width = a.width if a.width >= b.width else b.width
+    if a.xz or b.xz:
+        return Value.unknown(width)
+    return Value(width, a.val * b.val)
 
 
 def div(a: Value, b: Value) -> Value:
@@ -268,8 +284,16 @@ def power(a: Value, b: Value) -> Value:
 
 
 def bit_and(a: Value, b: Value) -> Value:
-    width = _arith_width(a, b)
-    a, b = a.resized(width), b.resized(width)
+    width = a.width
+    if width == 1 and b.width == 1:
+        if (a.val | a.xz) == 0 or (b.val | b.xz) == 0:
+            return _B0                   # a known-0 operand dominates x
+        if a.xz or b.xz:
+            return _BX
+        return _B1 if a.val & b.val else _B0
+    if width != b.width:
+        width = width if width >= b.width else b.width
+        a, b = a.resized(width), b.resized(width)
     # x & 0 = 0 ; x & 1 = x ; x & x = x
     known_zero = (~a.val & ~a.xz) | (~b.val & ~b.xz)
     xz = (a.xz | b.xz) & ~known_zero
@@ -277,16 +301,30 @@ def bit_and(a: Value, b: Value) -> Value:
 
 
 def bit_or(a: Value, b: Value) -> Value:
-    width = _arith_width(a, b)
-    a, b = a.resized(width), b.resized(width)
+    width = a.width
+    if width == 1 and b.width == 1:
+        if a.val or b.val:               # a known-1 operand dominates x
+            return _B1
+        if a.xz or b.xz:
+            return _BX
+        return _B0
+    if width != b.width:
+        width = width if width >= b.width else b.width
+        a, b = a.resized(width), b.resized(width)
     known_one = a.val | b.val
     xz = (a.xz | b.xz) & ~known_one
     return Value(width=width, val=known_one & ~xz, xz=xz)
 
 
 def bit_xor(a: Value, b: Value) -> Value:
-    width = _arith_width(a, b)
-    a, b = a.resized(width), b.resized(width)
+    width = a.width
+    if width == 1 and b.width == 1:
+        if a.xz or b.xz:
+            return _BX
+        return _B1 if a.val ^ b.val else _B0
+    if width != b.width:
+        width = width if width >= b.width else b.width
+        a, b = a.resized(width), b.resized(width)
     xz = a.xz | b.xz
     return Value(width=width, val=(a.val ^ b.val) & ~xz, xz=xz)
 
@@ -296,75 +334,84 @@ def bit_xnor(a: Value, b: Value) -> Value:
 
 
 def bit_not(a: Value) -> Value:
+    if a.width == 1:
+        if a.xz:
+            return _BX
+        return _B0 if a.val else _B1
     return Value(width=a.width, val=~a.val & _mask(a.width) & ~a.xz,
                  xz=a.xz)
 
 
 def logic_not(a: Value) -> Value:
     if a.val != 0:
-        return Value.of(0, 1)
-    if a.has_unknown:
-        return Value.unknown(1)
-    return Value.of(1, 1)
+        return _B0
+    if a.xz:
+        return _BX
+    return _B1
 
 
 def logic_and(a: Value, b: Value) -> Value:
-    a_true, b_true = a.val != 0, b.val != 0
-    if a_true and b_true:
-        return Value.of(1, 1)
-    a_false = a.val == 0 and not a.has_unknown
-    b_false = b.val == 0 and not b.has_unknown
+    if a.val != 0 and b.val != 0:
+        return _B1
+    a_false = a.val == 0 and not a.xz
+    b_false = b.val == 0 and not b.xz
     if a_false or b_false:
-        return Value.of(0, 1)
-    return Value.unknown(1)
+        return _B0
+    return _BX
 
 
 def logic_or(a: Value, b: Value) -> Value:
     if a.val != 0 or b.val != 0:
-        return Value.of(1, 1)
-    if a.has_unknown or b.has_unknown:
-        return Value.unknown(1)
-    return Value.of(0, 1)
+        return _B1
+    if a.xz or b.xz:
+        return _BX
+    return _B0
 
 
 def _bool_value(result: bool) -> Value:
-    return Value.of(1 if result else 0, 1)
+    return _B1 if result else _B0
 
 
 def compare(op: str, a: Value, b: Value, signed: bool = False) -> Value:
     """Relational / equality comparison; returns a 1-bit value."""
     if op in ("===", "!=="):
-        same = (a.resized(_arith_width(a, b)).val ==
-                b.resized(_arith_width(a, b)).val and
-                a.resized(_arith_width(a, b)).xz ==
-                b.resized(_arith_width(a, b)).xz)
+        width = _arith_width(a, b)
+        ar, br = a.resized(width), b.resized(width)
+        same = ar.val == br.val and ar.xz == br.xz
         return _bool_value(same if op == "===" else not same)
-    if a.has_unknown or b.has_unknown:
-        return Value.unknown(1)
+    if a.xz or b.xz:
+        return _BX
     width = _arith_width(a, b)
     lhs = a.resized(width, signed).to_int(signed)
     rhs = b.resized(width, signed).to_int(signed)
-    table = {
-        "==": lhs == rhs, "!=": lhs != rhs,
-        "<": lhs < rhs, "<=": lhs <= rhs,
-        ">": lhs > rhs, ">=": lhs >= rhs,
-    }
-    return _bool_value(table[op])
+    if op == "==":
+        return _B1 if lhs == rhs else _B0
+    if op == "!=":
+        return _B1 if lhs != rhs else _B0
+    if op == "<":
+        return _B1 if lhs < rhs else _B0
+    if op == "<=":
+        return _B1 if lhs <= rhs else _B0
+    if op == ">":
+        return _B1 if lhs > rhs else _B0
+    if op == ">=":
+        return _B1 if lhs >= rhs else _B0
+    raise KeyError(op)
 
 
 def shift_left(a: Value, amount: Value) -> Value:
-    if amount.has_unknown:
+    if amount.xz:
         return Value.unknown(a.width)
-    sh = amount.to_int()
+    sh = amount.val
     return Value(width=a.width, val=(a.val << sh) & _mask(a.width),
                  xz=(a.xz << sh) & _mask(a.width))
 
 
 def shift_right(a: Value, amount: Value, arithmetic: bool = False,
                 signed: bool = False) -> Value:
-    if amount.has_unknown:
+    if amount.xz:
         return Value.unknown(a.width)
-    sh = amount.to_int()
+    sh = amount.val
     if sh >= a.width:
         if arithmetic and signed:
             top = a.bit(a.width - 1)

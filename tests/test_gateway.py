@@ -72,6 +72,49 @@ def test_rate_limit_429_with_retry_after(stack):
     assert 429 in codes[2:]
 
 
+def test_wait_retries_through_429(monkeypatch):
+    # No live server: the poll loop's 429 handling is exercised by
+    # stubbing the batched query it wraps.
+    client = ServeClient("http://127.0.0.1:1")
+    calls = {"n": 0}
+
+    def throttled_then_done(ids=None):
+        calls["n"] += 1
+        if calls["n"] <= 2:
+            raise ServeError(429, {"error": "rate limited"},
+                             retry_after=0.01)
+        return [{"id": "j1", "state": "done"}]
+
+    monkeypatch.setattr(client, "jobs", throttled_then_done)
+    jobs = client.wait(["j1"], timeout=5, poll=0.01)
+    assert jobs["j1"]["state"] == "done"
+    assert calls["n"] == 3
+
+
+def test_wait_429_past_deadline_raises_timeout(monkeypatch):
+    client = ServeClient("http://127.0.0.1:1")
+
+    def always_throttled(ids=None):
+        raise ServeError(429, {"error": "rate limited"},
+                         retry_after=60.0)
+
+    monkeypatch.setattr(client, "jobs", always_throttled)
+    with pytest.raises(TimeoutError, match="rate-limited"):
+        client.wait(["j1"], timeout=0.05, poll=0.01)
+
+
+def test_wait_non_429_errors_escape(monkeypatch):
+    client = ServeClient("http://127.0.0.1:1")
+
+    def server_error(ids=None):
+        raise ServeError(500, {"error": "boom"})
+
+    monkeypatch.setattr(client, "jobs", server_error)
+    with pytest.raises(ServeError) as err:
+        client.wait(["j1"], timeout=1)
+    assert err.value.status == 500
+
+
 def test_tenant_quota_and_release(stack):
     _, server = stack
     client = ServeClient(server.url, tenant="capped")

@@ -19,7 +19,8 @@ import os
 import pytest
 
 from repro.sim import (CompiledSimulator, Simulator, compile_design,
-                       elaborate, find_top, run_simulation)
+                       elaborate, find_top, generate_module,
+                       load_generated, run_simulation, source_digest)
 from repro.verilog import parse
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -76,6 +77,27 @@ def test_golden_compiled(name):
     design = elaborate(source, find_top(source))
     compiled = compile_design(design)
     simulator = CompiledSimulator(compiled)
+    simulator.enable_tracing()
+    simulator.run(max_time=2_000_000)
+    out = "\n".join(simulator.display_lines) + \
+        f"\n-- finished={simulator.finished} time={simulator.time}\n"
+    assert out == expected_out(name)
+    vcd_file = golden_path(name, ".vcd")
+    if os.path.exists(vcd_file):
+        with open(vcd_file, encoding="utf-8") as fh:
+            assert simulator.tracer.to_vcd() == fh.read()
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_golden_codegen(name):
+    # Drive the codegen pipeline directly: emit the module source,
+    # exec-load it (as a warm pool worker would) and compare transcript
+    # and VCD byte-for-byte against the checked-in traces.
+    text = golden_source(name)
+    source = parse(text)
+    design = elaborate(source, find_top(source))
+    module_source = generate_module(design, source_digest(text, None))
+    simulator = load_generated(module_source).simulator()
     simulator.enable_tracing()
     simulator.run(max_time=2_000_000)
     out = "\n".join(simulator.display_lines) + \
