@@ -273,42 +273,34 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
     """Submit augment → train → evaluate as one DAG and (optionally)
-    wait for the evaluation of the freshly trained model."""
+    wait for the evaluation of the freshly trained model.
+
+    The DAG is the built-in :func:`repro.flow.pipeline_flow` spec,
+    submitted whole through ``/api/flow`` — one journal group commit
+    instead of three submits.
+    """
+    from .flow import pipeline_flow
     from .serve import ServeError
     client = _client(args)
-    paths = [os.path.abspath(p) for p in args.paths]
-    corpus_spec = {"paths": paths, "seed": args.seed,
-                   "completion_only": args.completion_only}
-    train_spec = dict(corpus_spec)
-    train_spec.update(_train_knobs(args))
-    train_spec.update(_pool_spec(args))
-    train_spec["register_as"] = args.register_as
-    models = (args.models.split(",") if args.models
-              else [args.register_as])
-    if args.register_as not in models:
-        # The pipeline exists to score the freshly trained model; an
-        # explicit baseline list gets it appended, never dropped.
-        models = models + [args.register_as]
+    flow = pipeline_flow(
+        paths=[os.path.abspath(p) for p in args.paths],
+        seed=args.seed, completion_only=args.completion_only,
+        train_knobs=_train_knobs(args), pool=_pool_spec(args),
+        register_as=args.register_as, suite=args.suite,
+        models=args.models.split(",") if args.models else None,
+        samples=args.samples, k=args.k,
+        levels=args.levels.split(",") if args.levels else None,
+        sim_backend=args.sim_backend, priority=args.priority)
     try:
-        augment = client.submit("augment", corpus_spec,
-                                priority=args.priority)
-        train = client.submit("train", train_spec,
-                              priority=args.priority,
-                              after=[augment["id"]])
-        evaluate = client.submit(
-            "evaluate",
-            {"suite": args.suite, "models": models,
-             "samples": args.samples, "k": args.k,
-             "levels": args.levels.split(",") if args.levels else None,
-             "seed": 0, "sim_backend": args.sim_backend,
-             "trained": {"name": args.register_as,
-                         "job": train["id"]}},
-            priority=args.priority, after=[train["id"]])
+        submitted = client.submit_flow(flow)
     except ServeError as exc:
         print(f"pipeline submit failed: {exc}", file=sys.stderr)
         return 1
-    stages = [("augment", augment), ("train", train),
-              ("evaluate", evaluate)]
+    nodes = submitted["nodes"]
+    stages = [(stage, nodes[stage])
+              for stage in ("augment", "train", "evaluate")]
+    train = nodes["train"]
+    evaluate = nodes["evaluate"]
     for stage, job in stages:
         print(f"-- submitted {job['id']} ({stage})")
     if args.no_wait:
@@ -337,6 +329,79 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             handle.write(eval_blob["rendered"] + "\n")
         print(f"-- wrote report to {args.out}")
     return 0
+
+
+def cmd_dag(args: argparse.Namespace) -> int:
+    """Validate / run / submit a user-defined DAG spec file.
+
+    ``--check`` prints the expanded, topologically ordered graph;
+    ``--direct`` executes it serially in process (the determinism
+    reference); otherwise the whole graph goes to the daemon as one
+    ``/api/flow`` group commit.
+    """
+    import tempfile
+
+    from .flow import FlowError, run_flow, run_flow_direct, validate_flow
+    from .serve import ServeError, SpecError
+    with open(args.spec, encoding="utf-8") as handle:
+        blob = json.load(handle)
+    try:
+        nodes = validate_flow(blob)
+    except SpecError as exc:
+        print(f"invalid flow: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        for node in nodes:
+            deps = (" after " + ", ".join(node.after)
+                    if node.after else "")
+            print(f"-- {node.name}: {node.kind}{deps}")
+        print(f"-- {len(nodes)} node(s), spec is valid")
+        return 0
+    try:
+        if args.direct:
+            workdir = args.workdir or tempfile.mkdtemp(
+                prefix="repro-dag-")
+            results = run_flow_direct(blob, workdir,
+                                      engine_jobs=args.jobs)
+        else:
+            results = run_flow(_client(args), blob,
+                               timeout=args.timeout)
+    except (FlowError, ServeError, TimeoutError) as exc:
+        print(f"flow failed: {exc}", file=sys.stderr)
+        return 1
+    for node in nodes:
+        print(f"-- {node.name}: done ({node.kind})")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote results to {args.out}")
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List or run registered scenarios; non-zero exit on violations."""
+    from .scenarios import run_scenarios, select_scenarios
+    if args.scenarios_cmd == "list":
+        for scenario in select_scenarios(tag=args.tag):
+            tags = ",".join(scenario.tags)
+            print(f"{scenario.name:24} {scenario.family:6} [{tags}] "
+                  f"{scenario.description}")
+        return 0
+    names = args.name or None
+    if not (names or args.tag or args.all):
+        print("pick one of --all, --name or --tag", file=sys.stderr)
+        return 2
+    report = run_scenarios(names=names, tag=args.tag, root=args.root,
+                           via=args.via, jobs=args.jobs)
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote scenario report to {args.out}")
+    return 0 if report.ok else 1
 
 
 def _eval_engine(args: argparse.Namespace):
@@ -1068,6 +1133,51 @@ def build_parser() -> argparse.ArgumentParser:
                                  "this file")
     add_client_options(p)
     p.set_defaults(fn=cmd_pipeline)
+
+    p = sub.add_parser("dag",
+                       help="validate/run/submit a user-defined job "
+                            "DAG spec file (nodes of any job kind, "
+                            "'after' edges, foreach fan-out)")
+    p.add_argument("spec", help="JSON flow spec file")
+    p.add_argument("--check", action="store_true",
+                   help="validate + print the expanded graph, run "
+                        "nothing")
+    p.add_argument("--direct", action="store_true",
+                   help="execute serially in process instead of "
+                        "submitting to a daemon")
+    p.add_argument("--workdir",
+                   help="work dir for --direct (default: fresh temp)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="engine parallelism for --direct")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--out", help="write per-node results JSON here")
+    add_client_options(p)
+    p.set_defaults(fn=cmd_dag)
+
+    p = sub.add_parser("scenarios",
+                       help="declarative scenario registry: paper "
+                            "sweeps + chaos + perf floors, regression-"
+                            "gated by expected score ranges")
+    scen = p.add_subparsers(dest="scenarios_cmd", required=True)
+    q = scen.add_parser("list", help="list registered scenarios")
+    q.add_argument("--tag", help="only scenarios carrying this tag")
+    q.set_defaults(fn=cmd_scenarios)
+    q = scen.add_parser("run", help="run a scenario selection")
+    q.add_argument("--all", action="store_true",
+                   help="run every registered scenario")
+    q.add_argument("--name", action="append",
+                   help="run this scenario (repeatable)")
+    q.add_argument("--tag", help="run scenarios carrying this tag")
+    q.add_argument("--via", choices=("direct", "daemon"),
+                   default="direct",
+                   help="execute flow scenarios in process or through "
+                        "a private in-process daemon")
+    q.add_argument("--jobs", type=int, default=1,
+                   help="engine parallelism inside scenarios")
+    q.add_argument("--root", help="scratch root (default: fresh temp)")
+    q.add_argument("--out",
+                   help="write the machine-readable report JSON here")
+    q.set_defaults(fn=cmd_scenarios)
     return parser
 
 

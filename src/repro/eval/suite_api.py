@@ -121,6 +121,35 @@ def render_suite(suite: str, report,
     raise KeyError(f"unknown eval suite '{suite}'")
 
 
+def suite_scores(suite: str, report, k: int = 5) -> dict[str, dict]:
+    """Machine-readable per-model metrics for one suite report.
+
+    The rendered tables are for humans; scenario gating and service
+    result blobs need numbers.  Every value is a plain float (or
+    ``None`` where a script model produced no passing run), computed
+    from the same cells the table renders — so the scores are exactly
+    as deterministic as the report.
+    """
+    from .repair_eval import RepairReport
+    from .script_eval import ScriptReport
+    from .verilog_eval import GenerationReport
+    if isinstance(report, GenerationReport):
+        return {model: {"solve_rate": report.success_rate(model),
+                        "pass_at_k": report.pass_at_k(model, k)}
+                for model in report.cells}
+    if isinstance(report, RepairReport):
+        return {model: {"solve_rate": report.success_rate(model)}
+                for model in report.cells}
+    if isinstance(report, ScriptReport):
+        scores = {}
+        for model in report.results:
+            avg_syntax, avg_function = report.average(model)
+            scores[model] = {"avg_syntax_iterations": avg_syntax,
+                             "avg_function_iterations": avg_function}
+        return scores
+    raise TypeError(f"unsupported report type {type(report).__name__}")
+
+
 def run_suite(suite: str, models: list[str] | None = None,
               samples: int | None = None, k: int = 5,
               levels: tuple[str, ...] | None = None, seed: int = 0,

@@ -1,0 +1,296 @@
+"""Declarative DAG specs: named job nodes + ``after`` edges + fan-out.
+
+A *flow* is a JSON-able description of a job DAG the service can run —
+the generalisation of the hardcoded ``repro pipeline`` chain (ROADMAP
+open item 4).  Every node names one job of an existing kind
+(augment / train / evaluate / infer / simulate / experiment / probe);
+edges are plain node names in ``after``; fan-out over seed grids,
+ablation axes or k-fold splits is a ``foreach`` template expanded
+deterministically at validation time.  Example::
+
+    {
+      "name": "seed-sweep",
+      "nodes": [
+        {"name": "aug-{seed}", "kind": "augment",
+         "spec": {"paths": ["corpus/"], "seed": "{seed}"},
+         "foreach": {"seed": [0, 1, 2]}},
+        {"name": "score", "kind": "evaluate",
+         "spec": {"suite": "thakur", "models": ["ours-13b"]},
+         "after": ["aug-0", "aug-1", "aug-2"]}
+      ]
+    }
+
+**Templates.**  ``foreach`` maps axis names to value lists; the node
+expands to the cross product.  Axes iterate in sorted-name order and
+values in listed order, so the expanded node set and its order are a
+pure function of the spec content — never of dict iteration order,
+submission transport, or worker count (property-tested).  A spec
+string that *is* exactly ``"{axis}"`` is replaced by the raw value
+(type-preserving: ``"seed": "{seed}"`` stays an integer); any other
+occurrence substitutes textually.  Strings in nodes without a
+``foreach`` are never touched, so literal braces in e.g. inlined
+Verilog sources survive.
+
+**References.**  A spec string of exactly ``"@flow:<node>"`` resolves
+to that node's job id at submit time (the daemon substitutes the real
+id before journaling; direct execution substitutes a synthetic one) —
+this is how an evaluate node points its ``trained`` entry at a train
+node.  A reference implies a dependency: the referenced node is added
+to ``after`` automatically.
+
+**Validation** (:func:`validate_flow`) rejects — with
+:class:`~repro.serve.jobs.SpecError`, which both HTTP front ends map
+to a 400 — duplicate node names (including collisions produced by
+expansion), self-referential ``after`` edges or self ``@flow:`` refs,
+unknown references, cycles, unknown kinds, oversized expansions, and
+any per-node spec the kind's normaliser refuses.  It returns the
+expanded nodes in a stable topological order with each node's spec
+already canonical, so a flow that validates is runnable as journaled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+
+from ..serve.jobs import JOB_KINDS, SpecError, validate_spec
+
+#: Spec strings of exactly this prefix + a node name resolve to that
+#: node's job id at submit time.
+FLOW_REF_PREFIX = "@flow:"
+
+#: Expansion ceiling: a fan-out template must not be able to stuff the
+#: journal with an unbounded node count from one request.
+MAX_FLOW_NODES = 256
+
+_AXIS_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class FlowNode:
+    """One expanded, validated node: canonical spec, resolved edges.
+
+    ``after`` contains node *names* (explicit ``after`` entries first,
+    then names implied by ``@flow:`` references, duplicates dropped);
+    ``spec`` is the kind-canonical spec with ``@flow:`` placeholders
+    still unresolved (resolution needs job ids, which only exist at
+    submit time — see :func:`resolve_refs`).
+    """
+
+    name: str
+    kind: str
+    spec: dict
+    after: tuple[str, ...] = ()
+    priority: int = 0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "spec": self.spec,
+                "after": list(self.after), "priority": self.priority}
+
+
+def _fail(message: str) -> None:
+    raise SpecError(message)
+
+
+def _substitute(value, bindings: dict):
+    """Template substitution over one JSON value (recursive).
+
+    Exact-token strings are replaced by the raw axis value so numeric
+    knobs keep their type; otherwise ``{axis}`` substitutes textually.
+    Only the node's own axes are touched — every other brace sequence
+    (Verilog concatenations, format strings…) passes through verbatim.
+    """
+    if isinstance(value, str):
+        for axis, axis_value in bindings.items():
+            token = "{" + axis + "}"
+            if value == token:
+                return axis_value
+            if token in value:
+                value = value.replace(token, str(axis_value))
+        return value
+    if isinstance(value, list):
+        return [_substitute(item, bindings) for item in value]
+    if isinstance(value, dict):
+        return {key: _substitute(item, bindings)
+                for key, item in value.items()}
+    return value
+
+
+def _check_raw_node(index: int, node) -> None:
+    if not isinstance(node, dict):
+        _fail(f"nodes[{index}] must be a JSON object")
+    name = node.get("name")
+    if not (isinstance(name, str) and name.strip()):
+        _fail(f"nodes[{index}] needs a non-empty string 'name'")
+    if node.get("kind") not in JOB_KINDS:
+        _fail(f"node '{name}': unknown job kind "
+              f"{node.get('kind')!r}; available: {', '.join(JOB_KINDS)}")
+    if not isinstance(node.get("spec", {}), dict):
+        _fail(f"node '{name}': 'spec' must be a JSON object")
+    after = node.get("after", [])
+    if not (isinstance(after, list)
+            and all(isinstance(dep, str) and dep.strip()
+                    for dep in after)):
+        _fail(f"node '{name}': 'after' must be a list of node names")
+    priority = node.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        _fail(f"node '{name}': 'priority' must be an integer")
+    foreach = node.get("foreach")
+    if foreach is None:
+        return
+    if not isinstance(foreach, dict) or not foreach:
+        _fail(f"node '{name}': 'foreach' must be a non-empty object "
+              "of axis -> values")
+    for axis, values in foreach.items():
+        if not (isinstance(axis, str) and _AXIS_RE.match(axis)):
+            _fail(f"node '{name}': bad foreach axis name {axis!r}")
+        if not (isinstance(values, list) and values):
+            _fail(f"node '{name}': foreach axis '{axis}' needs a "
+                  "non-empty list of values")
+        for value in values:
+            if isinstance(value, bool) or not isinstance(
+                    value, (str, int, float)):
+                _fail(f"node '{name}': foreach axis '{axis}' values "
+                      "must be strings or numbers")
+
+
+def expand_nodes(blob: dict) -> list[dict]:
+    """Structural checks + deterministic template expansion.
+
+    Returns raw node dicts (name/kind/spec/after/priority) in spec
+    order, template instances in sorted-axis cross-product order.
+    Specs are *not* yet canonical — :func:`validate_flow` is the full
+    pass.
+    """
+    if not isinstance(blob, dict):
+        _fail("a flow spec must be a JSON object")
+    name = blob.get("name", "")
+    if not isinstance(name, str):
+        _fail("flow 'name' must be a string")
+    nodes_raw = blob.get("nodes")
+    if not (isinstance(nodes_raw, list) and nodes_raw):
+        _fail("flow 'nodes' must be a non-empty list")
+    base_priority = blob.get("priority", 0)
+    if not isinstance(base_priority, int) or isinstance(base_priority,
+                                                       bool):
+        _fail("flow 'priority' must be an integer")
+    expanded: list[dict] = []
+    for index, node in enumerate(nodes_raw):
+        _check_raw_node(index, node)
+        foreach = node.get("foreach")
+        priority = node.get("priority", base_priority)
+        if not foreach:
+            expanded.append({"name": node["name"].strip(),
+                             "kind": node["kind"],
+                             "spec": node.get("spec", {}),
+                             "after": list(node.get("after", [])),
+                             "priority": priority})
+        else:
+            # Sorted axis names + listed value order make the grid
+            # order a pure function of spec content.
+            axes = sorted(foreach)
+            for combo in itertools.product(*(foreach[axis]
+                                             for axis in axes)):
+                bindings = dict(zip(axes, combo))
+                expanded.append({
+                    "name": str(_substitute(node["name"],
+                                            bindings)).strip(),
+                    "kind": node["kind"],
+                    "spec": _substitute(node.get("spec", {}), bindings),
+                    "after": [str(_substitute(dep, bindings))
+                              for dep in node.get("after", [])],
+                    "priority": priority})
+        if len(expanded) > MAX_FLOW_NODES:
+            _fail(f"flow expands to more than {MAX_FLOW_NODES} nodes")
+    return expanded
+
+
+def _spec_refs(value, found: list[str]) -> None:
+    """Collect ``@flow:`` node references in spec order."""
+    if isinstance(value, str):
+        if value.startswith(FLOW_REF_PREFIX):
+            ref = value[len(FLOW_REF_PREFIX):]
+            if ref not in found:
+                found.append(ref)
+    elif isinstance(value, list):
+        for item in value:
+            _spec_refs(item, found)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _spec_refs(item, found)
+
+
+def resolve_refs(value, id_map: dict[str, str]):
+    """Replace ``@flow:<node>`` strings with the mapped job ids."""
+    if isinstance(value, str):
+        if value.startswith(FLOW_REF_PREFIX):
+            return id_map[value[len(FLOW_REF_PREFIX):]]
+        return value
+    if isinstance(value, list):
+        return [resolve_refs(item, id_map) for item in value]
+    if isinstance(value, dict):
+        return {key: resolve_refs(item, id_map)
+                for key, item in value.items()}
+    return value
+
+
+def validate_flow(blob: dict) -> list[FlowNode]:
+    """Expand + fully validate a flow spec.
+
+    Returns :class:`FlowNode` entries in a stable topological order
+    (ready nodes emit in spec order), each with its canonical spec.
+    Raises :class:`SpecError` on anything a daemon must refuse with a
+    400: duplicate node names, self edges, unknown references, cycles,
+    unknown kinds, oversized expansions, or an invalid per-node spec.
+    """
+    expanded = expand_nodes(blob)
+    names = [node["name"] for node in expanded]
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            _fail(f"duplicate node name '{name}' (after expansion)")
+        seen.add(name)
+    deps: dict[str, list[str]] = {}
+    for node in expanded:
+        name = node["name"]
+        refs = list(dict.fromkeys(node["after"]))
+        _spec_refs(node["spec"], spec_refs := [])
+        for ref in spec_refs:
+            if ref not in refs:
+                refs.append(ref)
+        for ref in refs:
+            if ref == name:
+                _fail(f"node '{name}' depends on itself")
+            if ref not in seen:
+                _fail(f"node '{name}' references unknown node '{ref}'")
+        deps[name] = refs
+    # Stable Kahn: emit ready nodes in spec order until drained.
+    order: list[dict] = []
+    emitted: set[str] = set()
+    pending = list(expanded)
+    while pending:
+        ready = [node for node in pending
+                 if all(dep in emitted for dep in deps[node["name"]])]
+        if not ready:
+            cycle = ", ".join(node["name"] for node in pending)
+            _fail(f"dependency cycle among nodes: {cycle}")
+        for node in ready:
+            order.append(node)
+            emitted.add(node["name"])
+        pending = [node for node in pending if node["name"] not in emitted]
+    nodes: list[FlowNode] = []
+    for node in order:
+        try:
+            spec = validate_spec(node["kind"], node["spec"])
+        except SpecError as exc:
+            raise SpecError(f"node '{node['name']}': {exc}") from None
+        nodes.append(FlowNode(name=node["name"], kind=node["kind"],
+                              spec=spec, after=tuple(deps[node["name"]]),
+                              priority=node["priority"]))
+    return nodes
+
+
+def flow_name(blob: dict) -> str:
+    name = blob.get("name", "") if isinstance(blob, dict) else ""
+    return name if isinstance(name, str) and name.strip() else "flow"

@@ -1,0 +1,130 @@
+"""Declarative scenario registry: (spec, scores, expected ranges).
+
+A *scenario* is one regression-gated workload: either a flow spec
+(built per-run so it can reference scratch dirs) plus a score
+extractor, or — for operational scenarios that orchestrate their own
+daemons (kill-worker recovery, gateway stress) — a self-contained
+``ops`` driver.  Each declares ``expected`` ranges per metric; a score
+outside its range (or missing) is a violation and fails the run.
+Deterministic metrics can additionally be listed in ``pinned``: the
+report fingerprints them (sha256) so golden tests catch silent drift
+even *inside* the allowed range.
+
+Adding a workload is a registry entry plus a spec — no orchestration
+code.  ``repro scenarios run --all|--name|--tag`` executes entries
+directly or through an in-process daemon and emits one
+machine-readable report (:mod:`repro.scenarios.runner`) that CI gates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registry entry.
+
+    ``build(ctx)`` returns a flow spec blob; ``extract(results, ctx)``
+    maps the per-node result blobs to a flat ``{metric: number}`` dict.
+    Operational scenarios set ``ops(ctx)`` instead and drive their own
+    service topology; ``build``/``extract`` are then unused.  ``family``
+    is one of ``sweep`` (paper-style fan-out), ``chaos`` (fault
+    injection), ``perf`` (floors/ceilings on operational metrics).
+    """
+
+    name: str
+    family: str
+    description: str
+    expected: dict[str, tuple[float, float]]
+    tags: tuple[str, ...] = ()
+    build: Callable[["ScenarioContext"], dict] | None = None
+    extract: Callable[[dict, "ScenarioContext"], dict] | None = None
+    ops: Callable[["ScenarioContext"], dict] | None = None
+    #: Metrics whose exact values are deterministic; fingerprinted by
+    #: golden tests.
+    pinned: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.family not in ("sweep", "chaos", "perf"):
+            raise ValueError(f"bad scenario family '{self.family}'")
+        if (self.ops is None) == (self.build is None):
+            raise ValueError(
+                f"scenario '{self.name}' needs exactly one of "
+                "build+extract or ops")
+        if self.build is not None and self.extract is None:
+            raise ValueError(
+                f"scenario '{self.name}' has build but no extract")
+        unknown = [metric for metric in self.pinned
+                   if metric not in self.expected]
+        if unknown:
+            raise ValueError(
+                f"scenario '{self.name}' pins metrics without "
+                f"expected ranges: {', '.join(unknown)}")
+
+    def fingerprint(self, scores: dict) -> str:
+        """Digest of the deterministic (pinned) metric values."""
+        payload = {"scenario": self.name, "family": self.family,
+                   "scores": {metric: scores.get(metric)
+                              for metric in self.pinned}}
+        encoded = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def violations(self, scores: dict) -> list[dict]:
+        """Range check: every expected metric, in declared order."""
+        found = []
+        for metric, (low, high) in self.expected.items():
+            value = scores.get(metric)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                found.append({"metric": metric, "value": value,
+                              "low": low, "high": high,
+                              "reason": "missing or non-numeric"})
+            elif not (low <= value <= high):
+                found.append({"metric": metric, "value": value,
+                              "low": low, "high": high,
+                              "reason": "out of range"})
+        return found
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario '{scenario.name}' already "
+                         "registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY) or "none"
+        raise KeyError(f"unknown scenario '{name}' "
+                       f"(registered: {known})") from None
+
+
+def select_scenarios(names: list[str] | None = None,
+                     tag: str | None = None) -> list[Scenario]:
+    """Resolve a CLI selection; names are validated, tags filter."""
+    if names:
+        return [get_scenario(name) for name in names]
+    scenarios = all_scenarios()
+    if tag is not None:
+        scenarios = [s for s in scenarios if tag in s.tags]
+    return scenarios

@@ -84,6 +84,15 @@ class ServeClient:
             body["after"] = list(after)
         return self._request("/api/submit", body)
 
+    def submit_flow(self, flow: dict) -> dict:
+        """Submit a whole DAG spec (see :mod:`repro.flow.spec`).
+
+        One request journals the entire graph in a single group
+        commit; the reply maps node names to job dicts:
+        ``{"flow": name, "nodes": {node: job}}``.
+        """
+        return self._request("/api/flow", flow)
+
     def status(self, job_id: str) -> dict:
         return self._request(f"/api/job/{job_id}")
 

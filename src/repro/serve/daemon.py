@@ -32,6 +32,7 @@ stream SSE job-progress events and keep per-tenant accounting live.
 API surface (all JSON)::
 
     POST /api/submit            {kind, spec, priority?, after?} → job
+    POST /api/flow              DAG spec → {flow, nodes: {name: job}}
     GET  /api/jobs[?ids=a,b]    [job, ...] (optionally only those ids)
     GET  /api/job/<id>          job
     GET  /api/result/<id>       result blob (409 until done)
@@ -228,6 +229,45 @@ class Daemon:
                 outcomes[index] = job.to_dict()
             self._emit(jobs)
         return outcomes
+
+    def submit_flow(self, blob: dict, boost: int = 0) -> dict:
+        """Admit a whole DAG spec behind one journal fsync.
+
+        Validates/expands the flow (:func:`repro.flow.validate_flow`,
+        outside every lock — a bad graph raises :class:`SpecError`
+        before anything is journaled), then under the store lock peeks
+        the id allocator, resolves intra-graph ``after`` edges and
+        ``@flow:`` spec references to real job ids, and journals the
+        whole graph as one atomic ``submit_group`` line — a crash
+        mid-commit leaves either the entire DAG or nothing, never a
+        partial graph.  Scheduler admission happens in
+        topological order, so the waiter index sees each dependency
+        before its dependents.  ``boost`` is the gateway tenant's
+        priority boost, applied uniformly on top of per-node
+        priorities.  Returns ``{"flow": name, "nodes": {node: job}}``.
+        """
+        from ..flow.spec import flow_name, resolve_refs, validate_flow
+
+        nodes = validate_flow(blob)
+        with self._store_lock:
+            ids = self.store.reserve_ids(len(nodes))
+            id_map = {node.name: job_id
+                      for node, job_id in zip(nodes, ids)}
+            requests = []
+            for node in nodes:
+                requests.append((node.kind,
+                                 resolve_refs(node.spec, id_map),
+                                 node.priority + boost,
+                                 [id_map[dep] for dep in node.after]))
+            jobs = self.store.submit_group(requests)
+        with self._cond:
+            for job in jobs:
+                self.scheduler.submit(job)
+            self._cond.notify_all()
+        self._emit(jobs)
+        return {"flow": flow_name(blob),
+                "nodes": {node.name: job.to_dict()
+                          for node, job in zip(nodes, jobs)}}
 
     def cancel(self, job_id: str) -> dict | None:
         """Cancel a queued job; None if it is not cancellable."""
@@ -542,6 +582,8 @@ class _Handler(BaseHTTPRequestHandler):
                                                           0)),
                                     after=after)
                 self._reply(200, job)
+            elif path == "/api/flow":
+                self._reply(200, daemon.submit_flow(self._body()))
             elif path.startswith("/api/cancel/"):
                 job_id = path.rsplit("/", 1)[1]
                 job = daemon.cancel(job_id)

@@ -275,7 +275,8 @@ def _simulate_blob(spec: dict) -> dict:
 
 def _execute_evaluate(jobs: list[Job], engine) -> dict[str, JobOutcome]:
     """One engine pass over the union of the batch's models."""
-    from ..eval.suite_api import render_suite, subset_report, suite_report
+    from ..eval.suite_api import (render_suite, subset_report,
+                                  suite_report, suite_scores)
     leader = jobs[0].spec
     union: list[str] = []
     for job in jobs:
@@ -295,6 +296,8 @@ def _execute_evaluate(jobs: list[Job], engine) -> dict[str, JobOutcome]:
         outcomes[job.id] = JobOutcome(ok=True, blob={
             "kind": "evaluate", "suite": leader["suite"],
             "models": job.spec["models"], "k": job.spec["k"],
+            "scores": suite_scores(leader["suite"], sub,
+                                   k=job.spec["k"]),
             "rendered": rendered})
     return outcomes
 

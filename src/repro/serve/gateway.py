@@ -298,6 +298,71 @@ class Gateway:
             return 500, {"error": f"submit failed: {exc}"}, ()
         return 200, job, ()
 
+    async def _handle_flow(self, headers: dict, body: dict):
+        """Admit a whole DAG spec (``POST /api/flow``).
+
+        One bucket token per request, but quota/depth admission charges
+        the *expanded node count* — a 3×3 sweep occupies nine active
+        slots, so a tenant cannot smuggle a fleet past ``max_active``
+        inside one flow.  ``daemon.submit_flow`` is already a single
+        group commit, so the request skips the committer queue and
+        runs on the executor directly.
+        """
+        from ..flow.spec import validate_flow
+
+        tenant = self._tenant_for(headers)
+        if tenant is None:
+            return 403, {"error": "unknown tenant "
+                         f"'{headers.get('x-repro-tenant')}'"}, ()
+        try:
+            nodes = await self._loop.run_in_executor(
+                None, validate_flow, body)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}, ()
+        count = len(nodes)
+        retry = tenant.admit(time.monotonic())
+        if retry > 0.0:
+            tenant.throttled += 1
+            return 429, {"error": "tenant rate limit exceeded",
+                         "retry_after": round(retry, 3)}, (
+                ("Retry-After", f"{retry:.3f}"),)
+        policy = tenant.policy
+        if (policy.max_active is not None
+                and tenant.active + count > policy.max_active):
+            tenant.rejected += 1
+            return 429, {"error": "tenant active-job quota exceeded",
+                         "retry_after": self.config.retry_after}, (
+                ("Retry-After", f"{self.config.retry_after:.3f}"),)
+        if self._active_jobs + count > self.config.max_queue_depth:
+            self._rejected_depth += 1
+            return 429, {"error": "queue depth exceeded",
+                         "retry_after": self.config.retry_after}, (
+                ("Retry-After", f"{self.config.retry_after:.3f}"),)
+        tenant.active += count
+        self._active_jobs += count
+        try:
+            payload = await self._loop.run_in_executor(
+                None, lambda: self.daemon.submit_flow(
+                    body, boost=policy.priority_boost))
+        except SpecError as exc:
+            for _ in range(count):
+                self._release(tenant)
+            return 400, {"error": str(exc)}, ()
+        except Exception as exc:            # journal failure etc.
+            for _ in range(count):
+                self._release(tenant)
+            return 500, {"error": f"flow submit failed: {exc}"}, ()
+        tenant.submitted += count
+        for job in payload["nodes"].values():
+            # Same race as _resolve_submits: a worker may already have
+            # finished a node; its terminal event is parked in
+            # _early_terminal and must release the slot now.
+            if self._early_terminal.pop(job["id"], None) is not None:
+                self._release(tenant)
+            else:
+                self._job_owner[job["id"]] = tenant
+        return 200, payload, ()
+
     def _commit_loop(self) -> None:
         """Committer thread: drain queued submits into group commits.
 
@@ -563,6 +628,11 @@ class Gateway:
                 if path == "/api/submit":
                     parsed = self._parse_body(body)
                     code, payload, extra = await self._handle_submit(
+                        headers, parsed)
+                    await send(code, payload, extra)
+                elif path == "/api/flow":
+                    parsed = self._parse_body(body)
+                    code, payload, extra = await self._handle_flow(
                         headers, parsed)
                     await send(code, payload, extra)
                 elif path.startswith("/api/cancel/"):

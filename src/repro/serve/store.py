@@ -216,6 +216,13 @@ class JobStore:
             self.jobs.setdefault(job.id, job)
             self._next_job_seq = max(self._next_job_seq, job.seq + 1)
             return
+        if kind == "submit_group":
+            for blob in event["jobs"]:
+                job = Job.from_dict(blob)
+                self.jobs.setdefault(job.id, job)
+                self._next_job_seq = max(self._next_job_seq,
+                                         job.seq + 1)
+            return
         job = self.jobs.get(event.get("id", ""))
         if job is None:
             return
@@ -326,6 +333,18 @@ class JobStore:
         return self.submit_many([(kind, spec, priority,
                                   list(after or ()))])[0]
 
+    def reserve_ids(self, count: int) -> list[str]:
+        """The ids the next ``submit_many`` of ``count`` jobs will get.
+
+        Lets a flow submission resolve intra-graph references (node →
+        job id) *before* journaling, so the whole DAG lands in one
+        group commit with its edges already pointing at real ids.
+        Callers must hold the daemon's store lock between the peek and
+        the submit — nothing else may allocate ids in between.
+        """
+        return [f"job-{self._next_job_seq + index:06d}"
+                for index in range(count)]
+
     def submit_many(self, requests: list[tuple[str, dict, int,
                                                list[str]]]) -> list[Job]:
         """Journal a group of submissions behind one fsync.
@@ -344,6 +363,30 @@ class JobStore:
                             after=list(after or ())))
         self._append_group([{"event": "submit", "job": job.to_dict()}
                             for job in jobs])
+        return [self.jobs[job.id] for job in jobs]
+
+    def submit_group(self, requests: list[tuple[str, dict, int,
+                                                list[str]]]
+                     ) -> list[Job]:
+        """Journal a whole DAG as ONE journal line (atomic commit).
+
+        ``submit_many`` writes N independent ``submit`` events behind
+        one fsync — a crash inside the group can land a prefix, which
+        is fine for unrelated submits (each unacknowledged event is an
+        independent loss) but not for a flow, whose nodes reference
+        each other by id.  A single ``submit_group`` line is
+        all-or-nothing by construction: replay drops a torn final line
+        whole, so either the entire graph exists after recovery or
+        none of it does.
+        """
+        jobs = []
+        for index, (kind, spec, priority, after) in enumerate(requests):
+            seq = self._next_job_seq + index
+            jobs.append(Job(id=f"job-{seq:06d}", seq=seq, kind=kind,
+                            spec=spec, priority=priority,
+                            after=list(after or ())))
+        self._append({"event": "submit_group",
+                      "jobs": [job.to_dict() for job in jobs]})
         return [self.jobs[job.id] for job in jobs]
 
     def _transition(self, job_id: str, event: dict,

@@ -1,0 +1,186 @@
+"""Unit proof of the flow spec layer: expansion + validation.
+
+Fan-out expansion must be a pure function of spec *content* —
+node set and order identical regardless of dict insertion order, JSON
+round-trips, or execution parallelism — and every malformed graph
+(duplicates, self edges, unknown refs, cycles, bad kinds, oversized
+grids) must be rejected with ``SpecError`` before anything runs.
+"""
+
+import json
+
+import pytest
+
+from repro.flow import (MAX_FLOW_NODES, expand_nodes, pipeline_flow,
+                        resolve_refs, validate_flow)
+from repro.serve.jobs import SpecError
+
+
+def _seed_grid(foreach: dict) -> dict:
+    return {"name": "grid", "nodes": [
+        {"name": "aug-{mode}-{seed}", "kind": "probe",
+         "spec": {"payload": "{mode}-{seed}", "sleep_ms": "{seed}"},
+         "foreach": foreach}]}
+
+
+class TestExpansionDeterminism:
+    def test_axis_order_is_sorted_not_insertion(self):
+        ab = validate_flow(_seed_grid({"seed": [0, 1],
+                                       "mode": ["x", "y"]}))
+        ba = validate_flow(_seed_grid({"mode": ["x", "y"],
+                                       "seed": [0, 1]}))
+        assert [n.to_dict() for n in ab] == [n.to_dict() for n in ba]
+        assert [n.name for n in ab] == [
+            "aug-x-0", "aug-x-1", "aug-y-0", "aug-y-1"]
+
+    def test_json_roundtrip_is_identity(self):
+        blob = _seed_grid({"seed": [2, 0, 1], "mode": ["b", "a"]})
+        rehydrated = json.loads(json.dumps(blob))
+        assert [n.to_dict() for n in validate_flow(blob)] == \
+            [n.to_dict() for n in validate_flow(rehydrated)]
+
+    def test_value_order_is_listed_order(self):
+        nodes = validate_flow(_seed_grid({"seed": [2, 0, 1],
+                                          "mode": ["b"]}))
+        assert [n.name for n in nodes] == [
+            "aug-b-2", "aug-b-0", "aug-b-1"]
+
+    def test_exact_token_substitution_preserves_type(self):
+        nodes = validate_flow(_seed_grid({"seed": [7], "mode": ["m"]}))
+        # "{seed}" alone becomes the int 7; the mixed string becomes
+        # textual.
+        assert nodes[0].spec["sleep_ms"] == 7
+        assert nodes[0].spec["payload"] == "m-7"
+
+    def test_literal_braces_survive_when_not_an_axis(self):
+        source = "assign y = {a, b};  // concat, not a template"
+        blob = {"nodes": [
+            {"name": "sim-{seed}", "kind": "probe",
+             "spec": {"payload": source}, "foreach": {"seed": [0]}}]}
+        nodes = validate_flow(blob)
+        assert nodes[0].spec["payload"] == source
+
+    def test_nodes_without_foreach_are_never_substituted(self):
+        payload = "untouched {anything} at {all}"
+        nodes = validate_flow({"nodes": [
+            {"name": "n", "kind": "probe",
+             "spec": {"payload": payload}}]})
+        assert nodes[0].spec["payload"] == payload
+
+    def test_cross_product_size(self):
+        raw = expand_nodes(_seed_grid({"seed": [0, 1, 2],
+                                       "mode": ["a", "b"]}))
+        assert len(raw) == 6
+
+
+class TestValidation:
+    def _reject(self, blob, fragment):
+        with pytest.raises(SpecError, match=fragment):
+            validate_flow(blob)
+
+    def test_duplicate_node_names(self):
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe", "spec": {"payload": 1}},
+            {"name": "a", "kind": "probe", "spec": {"payload": 2}}]},
+            "duplicate node name")
+
+    def test_duplicate_via_expansion_collision(self):
+        self._reject({"nodes": [
+            {"name": "p-0", "kind": "probe", "spec": {"payload": 1}},
+            {"name": "p-{i}", "kind": "probe",
+             "spec": {"payload": "{i}"}, "foreach": {"i": [0]}}]},
+            "duplicate node name")
+
+    def test_self_edge(self):
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe", "spec": {"payload": 1},
+             "after": ["a"]}]}, "depends on itself")
+
+    def test_self_reference_in_spec(self):
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe",
+             "spec": {"payload": "@flow:a"}}]}, "depends on itself")
+
+    def test_unknown_after_ref(self):
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe", "spec": {"payload": 1},
+             "after": ["ghost"]}]}, "unknown node 'ghost'")
+
+    def test_unknown_spec_ref(self):
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe",
+             "spec": {"payload": "@flow:ghost"}}]},
+            "unknown node 'ghost'")
+
+    def test_cycle(self):
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe", "spec": {"payload": 1},
+             "after": ["b"]},
+            {"name": "b", "kind": "probe", "spec": {"payload": 2},
+             "after": ["a"]}]}, "cycle")
+
+    def test_unknown_kind(self):
+        self._reject({"nodes": [{"name": "a", "kind": "frobnicate"}]},
+                     "unknown job kind")
+
+    def test_invalid_node_spec_names_the_node(self):
+        self._reject({"nodes": [
+            {"name": "bad-aug", "kind": "augment", "spec": {}}]},
+            "node 'bad-aug'")
+
+    def test_expansion_ceiling(self):
+        blob = {"nodes": [
+            {"name": "p-{a}-{b}", "kind": "probe",
+             "spec": {"payload": "{a}{b}"},
+             "foreach": {"a": list(range(32)),
+                         "b": list(range(32))}}]}
+        assert 32 * 32 > MAX_FLOW_NODES
+        self._reject(blob, "expands to more than")
+
+    def test_empty_and_malformed_shapes(self):
+        self._reject({}, "non-empty list")
+        self._reject({"nodes": "nope"}, "non-empty list")
+        self._reject({"nodes": [{"kind": "probe"}]}, "name")
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe", "foreach": {}}]}, "foreach")
+        self._reject({"nodes": [
+            {"name": "a", "kind": "probe",
+             "foreach": {"i": [[1]]}}]}, "strings or numbers")
+
+
+class TestTopologyAndRefs:
+    def test_topo_order_is_stable_and_dependency_respecting(self):
+        nodes = validate_flow({"nodes": [
+            {"name": "z", "kind": "probe", "spec": {"payload": 0},
+             "after": ["m"]},
+            {"name": "m", "kind": "probe", "spec": {"payload": 1}},
+            {"name": "q", "kind": "probe", "spec": {"payload": 2}}]})
+        # Ready nodes emit in spec order: m and q first (spec order),
+        # then z.
+        assert [n.name for n in nodes] == ["m", "q", "z"]
+
+    def test_spec_reference_implies_dependency(self):
+        nodes = validate_flow({"nodes": [
+            {"name": "use", "kind": "probe",
+             "spec": {"payload": "@flow:make"}},
+            {"name": "make", "kind": "probe", "spec": {"payload": 1}}]})
+        assert [n.name for n in nodes] == ["make", "use"]
+        assert nodes[1].after == ("make",)
+
+    def test_resolve_refs_substitutes_nested(self):
+        spec = {"a": "@flow:x", "b": ["@flow:y", "keep"],
+                "c": {"d": "@flow:x"}, "e": 5}
+        resolved = resolve_refs(spec, {"x": "job-1", "y": "job-2"})
+        assert resolved == {"a": "job-1", "b": ["job-2", "keep"],
+                            "c": {"d": "job-1"}, "e": 5}
+
+    def test_pipeline_flow_is_a_valid_three_stage_dag(self):
+        nodes = validate_flow(pipeline_flow(paths=["/tmp/corpus"],
+                                            register_as="m"))
+        assert [(n.name, n.kind) for n in nodes] == [
+            ("augment", "augment"), ("train", "train"),
+            ("evaluate", "evaluate")]
+        assert nodes[1].after == ("augment",)
+        assert nodes[2].after == ("train",)
+        assert nodes[2].spec["trained"]["job"] == "@flow:train"
+        assert "m" in nodes[2].spec["models"]

@@ -1,0 +1,236 @@
+"""The scenario registry is the regression gate — prove the gate.
+
+* Registry invariants: the zoo covers every family, everything is in
+  the CI tag, entries are structurally sound.
+* One scenario per family is pinned: its deterministic metric
+  fingerprint must match ``tests/golden/scenario_reports.json``
+  (regen with ``REPRO_REGEN_GOLDEN=1``).
+* The warm-cache rerun really does hit every manifest: misses == 0.
+* Scores are transport-invariant: direct == daemon for a flow scenario.
+* A metric outside its declared range (or missing) is a violation and
+  flips the report to not-ok — the thing CI gates on.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.flow import validate_flow
+from repro.scenarios import (Scenario, ScenarioContext, all_scenarios,
+                             get_scenario, register, run_scenario,
+                             run_scenarios, select_scenarios,
+                             unregister)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "scenario_reports.json")
+
+#: One deterministic representative per family, golden-pinned.
+PINNED_SCENARIOS = ("aug-seed-grid",          # sweep
+                    "kill-worker-recovery",   # chaos
+                    "warm-cache-rerun")       # perf
+
+
+class TestRegistryInvariants:
+    def test_zoo_covers_every_family_with_headroom(self):
+        scenarios = all_scenarios()
+        assert len(scenarios) >= 6
+        families = {scenario.family for scenario in scenarios}
+        assert families == {"sweep", "chaos", "perf"}
+
+    def test_every_scenario_is_in_the_ci_gate(self):
+        for scenario in all_scenarios():
+            assert "ci" in scenario.tags, scenario.name
+            assert scenario.description, scenario.name
+            assert scenario.expected, scenario.name
+
+    def test_pinned_metrics_have_expected_ranges(self):
+        for scenario in all_scenarios():
+            for metric in scenario.pinned:
+                assert metric in scenario.expected, \
+                    f"{scenario.name}: {metric}"
+
+    def test_every_flow_builder_yields_a_valid_dag(self, tmp_path):
+        for scenario in all_scenarios():
+            if scenario.build is None:
+                continue
+            ctx = ScenarioContext(root=str(tmp_path / scenario.name))
+            os.makedirs(ctx.root, exist_ok=True)
+            nodes = validate_flow(scenario.build(ctx))
+            assert nodes, scenario.name
+
+    def test_selection_by_tag_and_name(self):
+        by_tag = select_scenarios(tag="ci")
+        assert {s.name for s in by_tag} >= set(PINNED_SCENARIOS)
+        assert select_scenarios(tag="no-such-tag") == []
+        only = select_scenarios(names=["aug-seed-grid"])
+        assert [s.name for s in only] == ["aug-seed-grid"]
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("ghost")
+
+    def test_malformed_entries_are_rejected_at_definition(self):
+        with pytest.raises(ValueError, match="bad scenario family"):
+            Scenario(name="x", family="vibes", description="d",
+                     expected={}, ops=lambda ctx: {})
+        with pytest.raises(ValueError, match="exactly one"):
+            Scenario(name="x", family="perf", description="d",
+                     expected={}, ops=lambda ctx: {},
+                     build=lambda ctx: {},
+                     extract=lambda results, ctx: {})
+        with pytest.raises(ValueError, match="pins metrics"):
+            Scenario(name="x", family="perf", description="d",
+                     expected={"a": (0, 1)}, ops=lambda ctx: {},
+                     pinned=("b",))
+        register(Scenario(name="dup-probe", family="perf",
+                          description="d", expected={},
+                          ops=lambda ctx: {}))
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register(Scenario(name="dup-probe", family="perf",
+                                  description="d", expected={},
+                                  ops=lambda ctx: {}))
+        finally:
+            unregister("dup-probe")
+
+
+class TestViolationGate:
+    def _run_temp(self, tmp_path, scores, expected):
+        scenario = Scenario(
+            name="tmp-gate", family="perf", description="temp",
+            expected=expected, ops=lambda ctx: scores)
+        register(scenario)
+        try:
+            return run_scenario(scenario, str(tmp_path))
+        finally:
+            unregister("tmp-gate")
+
+    def test_out_of_range_metric_is_a_violation(self, tmp_path):
+        result = self._run_temp(tmp_path, {"latency": 9.0},
+                                {"latency": (0.0, 1.0)})
+        assert not result.ok
+        assert result.violations == [
+            {"metric": "latency", "value": 9.0, "low": 0.0,
+             "high": 1.0, "reason": "out of range"}]
+
+    def test_missing_and_non_numeric_metrics_violate(self, tmp_path):
+        result = self._run_temp(
+            tmp_path, {"flag": True},
+            {"flag": (0, 1), "ghost": (0, 1)})
+        reasons = {v["metric"]: v["reason"] for v in result.violations}
+        assert reasons == {"flag": "missing or non-numeric",
+                           "ghost": "missing or non-numeric"}
+
+    def test_ops_exception_becomes_an_error_not_a_crash(self, tmp_path):
+        def boom(ctx):
+            raise RuntimeError("scenario blew up")
+        scenario = Scenario(name="tmp-boom", family="chaos",
+                            description="temp", expected={"a": (0, 1)},
+                            ops=boom)
+        register(scenario)
+        try:
+            result = run_scenario(scenario, str(tmp_path))
+        finally:
+            unregister("tmp-boom")
+        assert not result.ok
+        assert "scenario blew up" in result.error
+        assert result.violations == []
+
+    def test_one_bad_scenario_fails_the_whole_report(self, tmp_path):
+        register(Scenario(
+            name="tmp-floor", family="perf", description="temp",
+            expected={"speed": (1000.0, 2000.0)},
+            ops=lambda ctx: {"speed": 1.0}))
+        try:
+            report = run_scenarios(
+                names=["aug-seed-grid", "tmp-floor"],
+                root=str(tmp_path))
+        finally:
+            unregister("tmp-floor")
+        assert not report.ok
+        blob = report.to_dict()
+        assert blob["version"] == 1
+        assert blob["ok"] is False
+        assert blob["violations"] == 1
+        by_name = {entry["name"]: entry for entry in blob["scenarios"]}
+        assert by_name["aug-seed-grid"]["ok"] is True
+        assert by_name["tmp-floor"]["ok"] is False
+        assert "!!" in report.render()
+
+
+@pytest.fixture(scope="module")
+def pinned_report(tmp_path_factory):
+    """Run the three golden-pinned scenarios once for the module."""
+    root = tmp_path_factory.mktemp("scenario-golden")
+    return run_scenarios(names=list(PINNED_SCENARIOS), root=str(root))
+
+
+class TestGoldenPins:
+    def test_pinned_scenarios_all_pass(self, pinned_report):
+        assert pinned_report.ok, pinned_report.render()
+        assert [r.name for r in pinned_report.results] == \
+            list(PINNED_SCENARIOS)
+
+    def test_fingerprints_match_golden(self, pinned_report):
+        observed = {result.name: result.fingerprint
+                    for result in pinned_report.results}
+        if (os.environ.get("REPRO_REGEN_GOLDEN")
+                or not os.path.exists(GOLDEN_PATH)):
+            with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+                json.dump(observed, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        with open(GOLDEN_PATH, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert observed == golden, (
+            "pinned scenario metrics drifted from tests/golden/"
+            "scenario_reports.json; if the change is intentional, "
+            "rerun with REPRO_REGEN_GOLDEN=1")
+
+    def test_warm_rerun_recomputes_nothing(self, pinned_report):
+        warm = next(result for result in pinned_report.results
+                    if result.name == "warm-cache-rerun")
+        assert warm.scores["warm_misses"] == 0
+        assert warm.scores["identical_results"] == 1
+        assert warm.scores["warm_hits"] >= 1
+
+    def test_chaos_round_loses_nothing(self, pinned_report):
+        chaos = next(result for result in pinned_report.results
+                     if result.name == "kill-worker-recovery")
+        assert chaos.scores["lost"] == 0
+        assert chaos.scores["blob_mismatches"] == 0
+        assert chaos.scores["done_before_kill"] >= 1
+
+
+class TestTransportParity:
+    def test_direct_and_daemon_scores_agree(self, tmp_path):
+        scenario = get_scenario("aug-seed-grid")
+        direct = run_scenario(scenario, str(tmp_path / "d"),
+                              via="direct")
+        daemon = run_scenario(scenario, str(tmp_path / "s"),
+                              via="daemon")
+        assert direct.ok and daemon.ok
+        assert direct.scores == daemon.scores
+        assert direct.fingerprint == daemon.fingerprint
+
+
+class TestScenarioCli:
+    def test_list_and_run_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["scenarios", "list"]) == 0
+        listing = capsys.readouterr().out
+        for name in PINNED_SCENARIOS:
+            assert name in listing
+
+        out = tmp_path / "report.json"
+        code = main(["scenarios", "run", "--name", "aug-seed-grid",
+                     "--root", str(tmp_path / "run"),
+                     "--out", str(out)])
+        assert code == 0
+        blob = json.loads(out.read_text(encoding="utf-8"))
+        assert blob["ok"] is True
+        assert blob["scenarios"][0]["name"] == "aug-seed-grid"
+        assert blob["scenarios"][0]["violations"] == []
+
+    def test_run_requires_a_selection(self, capsys):
+        from repro.cli import main
+        assert main(["scenarios", "run"]) == 2
+        assert "pick one of" in capsys.readouterr().err
